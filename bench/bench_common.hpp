@@ -1,0 +1,63 @@
+// Shared helpers for the figure-reproduction harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "trace/alibaba.hpp"
+#include "trace/azure.hpp"
+#include "util/table.hpp"
+
+namespace deflate::bench {
+
+/// Environment knob: DEFLATE_BENCH_SCALE in (0, 1] scales down population
+/// sizes for quick smoke runs (default 1 = paper-comparable scale).
+inline double bench_scale() {
+  if (const char* env = std::getenv("DEFLATE_BENCH_SCALE")) {
+    const double scale = std::atof(env);
+    if (scale > 0.0 && scale <= 1.0) return scale;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  const auto result = static_cast<std::size_t>(bench_scale() * static_cast<double>(n));
+  return result > 0 ? result : 1;
+}
+
+/// The Azure-like trace used by the feasibility figures (5-8): a large VM
+/// population over 3 days at 5-minute granularity.
+inline std::vector<trace::VmRecord> feasibility_trace() {
+  trace::AzureTraceConfig config;
+  config.vm_count = scaled(20000);
+  config.seed = 42;
+  config.duration = sim::SimTime::from_hours(72);
+  return trace::AzureTraceGenerator(config).generate();
+}
+
+/// The Alibaba-like container trace for Figs. 9-12.
+inline std::vector<trace::ContainerRecord> container_trace() {
+  trace::AlibabaTraceConfig config;
+  config.container_count = scaled(4000);
+  config.seed = 2020;
+  config.duration = sim::SimTime::from_hours(24);
+  return trace::AlibabaTraceGenerator(config).generate();
+}
+
+/// The cluster-simulation trace for Figs. 20-22 (paper: 10,000 sampled
+/// VMs, §7.1.2).
+inline std::vector<trace::VmRecord> cluster_trace() {
+  trace::AzureTraceConfig config;
+  config.vm_count = scaled(10000);
+  config.seed = 7;
+  config.duration = sim::SimTime::from_hours(72);
+  return trace::AzureTraceGenerator(config).generate();
+}
+
+inline void print_header(const std::string& figure, const std::string& claim) {
+  std::cout << "==== " << figure << " ====\n";
+  std::cout << "paper: " << claim << "\n\n";
+}
+
+}  // namespace deflate::bench

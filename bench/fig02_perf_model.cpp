@@ -1,0 +1,31 @@
+// Figure 2: the abstract slack / linear / knee model of application
+// behaviour under deflation (§3.1).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/perf_model.hpp"
+
+int main() {
+  using namespace deflate;
+  bench::print_header(
+      "Figure 2: application behavior under different levels of deflation",
+      "three regions: flat slack, (roughly) linear degradation, precipitous "
+      "drop past the knee");
+
+  const auto curve = core::PerfCurve::abstract_model(/*slack_end=*/0.30,
+                                                     /*knee=*/0.70,
+                                                     /*knee_perf=*/0.45);
+  util::Table table({"deflation_%", "normalized_performance", "region"});
+  for (int d = 0; d <= 100; d += 5) {
+    const double deflation = d / 100.0;
+    const char* region = deflation <= 0.30  ? "slack"
+                         : deflation <= 0.70 ? "linear"
+                                             : "post-knee";
+    table.add_row({std::to_string(d),
+                   util::format_double(curve.performance(deflation), 3), region});
+  }
+  table.print(std::cout);
+  std::cout << "\nmodel slack (1% tolerance): "
+            << util::format_double(curve.slack(0.01), 2) << "\n";
+  return 0;
+}

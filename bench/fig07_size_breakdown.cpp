@@ -1,0 +1,46 @@
+// Figure 7: deflatability by VM memory size — the paper finds no
+// correlation between size and deflatability (§3.2.1).
+#include <iostream>
+
+#include "analysis/feasibility.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace deflate;
+  bench::print_header(
+      "Figure 7: fraction of time above deflated allocation, by VM size",
+      "VM size has no direct correlation with deflatability; all sizes see "
+      "similar impact at a given deflation level");
+
+  const auto records = bench::feasibility_trace();
+
+  const trace::SizeBucket buckets[] = {trace::SizeBucket::Small,
+                                       trace::SizeBucket::Medium,
+                                       trace::SizeBucket::Large};
+  for (const auto bucket : buckets) {
+    util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
+    for (int d = 10; d <= 90; d += 10) {
+      const auto box = analysis::cpu_underallocation_box(
+          records, d / 100.0, [&](const trace::VmRecord& record) {
+            return record.size_bucket() == bucket;
+          });
+      table.add_row_labeled(std::to_string(d),
+                            {box.min, box.q1, box.median, box.q3, box.max});
+    }
+    std::cout << "-- size: " << trace::size_bucket_name(bucket) << " --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "headline @50% deflation (medians across sizes):";
+  for (const auto bucket : buckets) {
+    const auto box = analysis::cpu_underallocation_box(
+        records, 0.5, [&](const trace::VmRecord& record) {
+          return record.size_bucket() == bucket;
+        });
+    std::cout << "  " << trace::size_bucket_name(bucket) << "="
+              << util::format_double(100.0 * box.median, 1) << "%";
+  }
+  std::cout << "  (paper: roughly equal)\n";
+  return 0;
+}

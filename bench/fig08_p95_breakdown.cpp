@@ -1,0 +1,47 @@
+// Figure 8: deflatability by 95th-percentile CPU usage — peak load is a
+// coarse indicator of a VM's deflatability (§3.2.1).
+#include <iostream>
+
+#include "analysis/feasibility.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace deflate;
+  bench::print_header(
+      "Figure 8: fraction of time above deflated allocation, by P95 CPU",
+      "up to 20% deflation every bucket except peak>80% has enough slack; "
+      "higher peak loads imply greater impact when deflated");
+
+  const auto records = bench::feasibility_trace();
+
+  const trace::PeakBucket buckets[] = {
+      trace::PeakBucket::Low, trace::PeakBucket::Moderate,
+      trace::PeakBucket::High, trace::PeakBucket::VeryHigh};
+
+  for (const auto bucket : buckets) {
+    util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
+    for (int d = 10; d <= 90; d += 10) {
+      const auto box = analysis::cpu_underallocation_box(
+          records, d / 100.0, [&](const trace::VmRecord& record) {
+            return trace::peak_bucket_for_p95(record.p95_cpu()) == bucket;
+          });
+      table.add_row_labeled(std::to_string(d),
+                            {box.min, box.q1, box.median, box.q3, box.max});
+    }
+    std::cout << "-- bucket: " << trace::peak_bucket_name(bucket) << " --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "headline @20% deflation (medians): ";
+  for (const auto bucket : buckets) {
+    const auto box = analysis::cpu_underallocation_box(
+        records, 0.2, [&](const trace::VmRecord& record) {
+          return trace::peak_bucket_for_p95(record.p95_cpu()) == bucket;
+        });
+    std::cout << trace::peak_bucket_name(bucket) << "="
+              << util::format_double(100.0 * box.median, 1) << "%  ";
+  }
+  std::cout << "(paper: ~0 for all but >80%)\n";
+  return 0;
+}

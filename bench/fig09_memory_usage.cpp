@@ -1,0 +1,34 @@
+// Figure 9: container memory usage vs deflation thresholds (Alibaba-like
+// trace). Raw usage looks high — the §3.2.2 point is that usage alone
+// overstates memory pressure for JVM-style services.
+#include <iostream>
+
+#include "analysis/feasibility.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace deflate;
+  bench::print_header(
+      "Figure 9: memory usage of applications vs deflated allocation",
+      "usage-based analysis says >70% of time underallocated even at 10% "
+      "memory deflation (heap pre-allocation, not true working set)");
+
+  const auto containers = bench::container_trace();
+  std::cout << "population: " << containers.size() << " containers\n\n";
+
+  util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
+  for (int d = 10; d <= 70; d += 10) {
+    const auto box = analysis::container_underallocation_box(
+        containers, analysis::memory_series, d / 100.0);
+    table.add_row_labeled(std::to_string(d),
+                          {box.min, box.q1, box.median, box.q3, box.max});
+  }
+  table.print(std::cout);
+
+  const auto at_10 = analysis::container_underallocation_box(
+      containers, analysis::memory_series, 0.10);
+  std::cout << "\nheadline: at 10% memory deflation the median container is "
+            << util::format_double(100.0 * at_10.median, 1)
+            << "% of time above the deflated allocation (paper: >70%)\n";
+  return 0;
+}

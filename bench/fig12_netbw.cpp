@@ -1,0 +1,35 @@
+// Figure 12: network-bandwidth deflation feasibility (Alibaba-like trace,
+// sum of normalized incoming + outgoing traffic).
+#include <iostream>
+
+#include "analysis/feasibility.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace deflate;
+  bench::print_header(
+      "Figure 12: network bandwidth deflation feasibility",
+      "at 70% deflation containers suffer underallocation only ~1% of their "
+      "lifetime; below 50% deflation the impact is near zero");
+
+  const auto containers = bench::container_trace();
+
+  util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
+  for (int d = 10; d <= 90; d += 10) {
+    const auto box = analysis::container_underallocation_box(
+        containers, analysis::net_series, d / 100.0);
+    table.add_row_labeled(std::to_string(d),
+                          {box.min, box.q1, box.median, box.q3, box.max});
+  }
+  table.print(std::cout);
+
+  const auto at_70 = analysis::container_underallocation_box(
+      containers, analysis::net_series, 0.7);
+  const auto at_50 = analysis::container_underallocation_box(
+      containers, analysis::net_series, 0.5);
+  std::cout << "\nheadline: mean-of-median underallocation "
+            << util::format_double(100.0 * at_70.median, 2) << "% at 70% and "
+            << util::format_double(100.0 * at_50.median, 3)
+            << "% at 50% deflation (paper: ~1% and ~0%)\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 18: response times for the DeathStarBench-style social-network
+// application when the 22 non-database microservices are deflated (§7.2).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workloads/microservice.hpp"
+
+int main() {
+  using namespace deflate;
+  bench::print_header(
+      "Figure 18: social-network microservice response times (ms)",
+      "deflatable to 50% with no performance loss; past that the "
+      "degradation is more abrupt than the monolithic Wikipedia case");
+
+  wl::MicroserviceConfig config;
+  config.duration = sim::SimTime::from_seconds(
+      std::max(60.0, 240.0 * bench::bench_scale()));
+  const wl::MicroserviceApp app(config);
+
+  util::Table table({"deflation_%", "median_ms", "p90_ms", "p99_ms",
+                     "served_%", "hottest_station_util"});
+  for (const int d : {0, 30, 50, 60, 65}) {
+    const auto result = app.run(d / 100.0);
+    table.add_row_labeled(std::to_string(d),
+                          {1000.0 * result.latency.p50,
+                           1000.0 * result.latency.p90,
+                           1000.0 * result.latency.p99,
+                           100.0 * result.served_fraction,
+                           result.bottleneck_utilization},
+                          1);
+  }
+  table.print(std::cout);
+
+  const auto at_50 = app.run(0.5);
+  const auto at_65 = app.run(0.65);
+  std::cout << "\nheadline: p99 " << util::format_double(1000.0 * at_50.latency.p99, 0)
+            << "ms @50% vs " << util::format_double(1000.0 * at_65.latency.p99, 0)
+            << "ms @65% (paper: ~10^2 ms vs ~10^4-10^5 ms)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Micro-benchmark: fitness-based placement scan over large clusters.
+#include <benchmark/benchmark.h>
+
+#include "cluster/placement.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using deflate::cluster::HostView;
+using deflate::res::ResourceVector;
+
+std::vector<HostView> make_views(std::size_t n) {
+  deflate::util::Rng rng(42);
+  std::vector<HostView> views;
+  views.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    HostView view;
+    view.host_id = i;
+    view.capacity = {48.0, 131072.0, 4000.0, 40000.0};
+    view.available = {rng.uniform(0.0, 48.0), rng.uniform(0.0, 131072.0),
+                      rng.uniform(0.0, 4000.0), rng.uniform(0.0, 40000.0)};
+    view.deflatable = {rng.uniform(0.0, 24.0), rng.uniform(0.0, 65536.0), 0.0,
+                       0.0};
+    view.overcommit_ratio = rng.uniform(0.5, 2.0);
+    view.feasible = rng.bernoulli(0.8);
+    views.push_back(view);
+  }
+  return views;
+}
+
+}  // namespace
+
+static void bench_pick_best_host(benchmark::State& state) {
+  const auto views = make_views(static_cast<std::size_t>(state.range(0)));
+  const ResourceVector demand(8.0, 16384.0, 100.0, 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deflate::cluster::pick_best_host(demand, views));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bench_pick_best_host)->Arg(40)->Arg(400)->Arg(4000)->Arg(10000);
+
+static void bench_fitness(benchmark::State& state) {
+  const auto views = make_views(1);
+  const ResourceVector demand(8.0, 16384.0, 100.0, 1000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deflate::cluster::fitness(demand, views[0]));
+  }
+}
+BENCHMARK(bench_fitness);

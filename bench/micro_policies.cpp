@@ -1,0 +1,58 @@
+// Micro-benchmark: deflation-policy solve throughput. The local controller
+// invokes the policy once per resource dimension per placement, so the
+// per-call latency bounds cluster-manager throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using deflate::core::PolicyKind;
+using deflate::core::VmShare;
+
+std::vector<VmShare> make_shares(std::size_t n, std::uint64_t seed) {
+  deflate::util::Rng rng(seed);
+  std::vector<VmShare> shares;
+  shares.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    VmShare share;
+    share.id = i;
+    share.max_alloc = rng.uniform(1.0, 32.0);
+    share.min_alloc = 0.05;
+    share.priority = rng.uniform(0.1, 0.9);
+    share.current = rng.uniform(share.min_alloc, share.max_alloc);
+    shares.push_back(share);
+  }
+  return shares;
+}
+
+void bench_policy(benchmark::State& state, PolicyKind kind) {
+  const auto policy = deflate::core::make_policy(kind);
+  const auto shares = make_shares(static_cast<std::size_t>(state.range(0)), 99);
+  const double reclaimable = policy->reclaimable(shares);
+  for (auto _ : state) {
+    auto result = policy->reclaim(shares, reclaimable * 0.5);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_policy, proportional, PolicyKind::Proportional)
+    ->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(bench_policy, priority, PolicyKind::Priority)
+    ->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK_CAPTURE(bench_policy, deterministic, PolicyKind::Deterministic)
+    ->Arg(8)->Arg(64)->Arg(512);
+
+static void bench_reclaimable(benchmark::State& state) {
+  const auto policy = deflate::core::make_policy(PolicyKind::Priority);
+  const auto shares = make_shares(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->reclaimable(shares));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(bench_reclaimable)->Arg(64)->Arg(512);

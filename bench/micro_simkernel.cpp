@@ -1,0 +1,55 @@
+// Micro-benchmark: discrete-event kernel throughput (events/second bounds
+// every queueing simulation in the repo).
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+
+static void bench_schedule_run(benchmark::State& state) {
+  using namespace deflate::sim;
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator simulator;
+    for (int i = 0; i < n; ++i) {
+      simulator.schedule_at(SimTime::from_micros(i % 1000), [] {});
+    }
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bench_schedule_run)->Arg(1000)->Arg(100000);
+
+static void bench_event_chain(benchmark::State& state) {
+  using namespace deflate::sim;
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator simulator;
+    int remaining = n;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) {
+        simulator.schedule_in(SimTime::from_micros(1), next);
+      }
+    };
+    simulator.schedule_in(SimTime::from_micros(1), next);
+    simulator.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bench_event_chain)->Arg(1000)->Arg(100000);
+
+static void bench_cancellation(benchmark::State& state) {
+  using namespace deflate::sim;
+  for (auto _ : state) {
+    Simulator simulator;
+    std::vector<EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(
+          simulator.schedule_at(SimTime::from_micros(i), [] {}));
+    }
+    for (auto& handle : handles) handle.cancel();
+    benchmark::DoNotOptimize(simulator.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(bench_cancellation);

@@ -1,0 +1,49 @@
+// Micro-benchmark: synthetic trace generation rate (VMs/second) and the
+// feasibility statistic kernel.
+#include <benchmark/benchmark.h>
+
+#include "trace/alibaba.hpp"
+#include "trace/azure.hpp"
+
+static void bench_azure_generate_vm(benchmark::State& state) {
+  using namespace deflate::trace;
+  AzureTraceConfig config;
+  config.vm_count = 1;
+  config.seed = 3;
+  config.duration = deflate::sim::SimTime::from_hours(72);
+  const AzureTraceGenerator gen(config);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate_vm(id++ % 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_azure_generate_vm);
+
+static void bench_alibaba_generate_container(benchmark::State& state) {
+  using namespace deflate::trace;
+  AlibabaTraceConfig config;
+  config.duration = deflate::sim::SimTime::from_hours(24);
+  const AlibabaTraceGenerator gen(config);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate_container(id++ % 1000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bench_alibaba_generate_container);
+
+static void bench_fraction_above(benchmark::State& state) {
+  using namespace deflate::trace;
+  AzureTraceConfig config;
+  config.vm_count = 1;
+  config.seed = 9;
+  config.duration = deflate::sim::SimTime::from_hours(72);
+  const auto record = AzureTraceGenerator(config).generate_vm(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(record.cpu.fraction_above(0.5));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(record.cpu.size()));
+}
+BENCHMARK(bench_fraction_above);

@@ -1,0 +1,69 @@
+// Trace-driven cluster simulation (§7.4 in miniature): generate an
+// Azure-style trace, size the minimum feasible cluster, then compare the
+// deflation policies and the preemption baseline at 50% overcommitment.
+//
+//   $ ./build/examples/cluster_sim
+#include <cmath>
+#include <iostream>
+
+#include "simcluster/cluster_sim.hpp"
+#include "trace/azure.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace deflate;
+
+  trace::AzureTraceConfig trace_config;
+  trace_config.vm_count = 2000;
+  trace_config.seed = 11;
+  trace_config.duration = sim::SimTime::from_hours(48);
+  const auto records = trace::AzureTraceGenerator(trace_config).generate();
+  std::cout << "trace: " << records.size() << " VMs over 48h\n";
+
+  simcluster::SimConfig base;
+  base.server_capacity = {48.0, 128.0 * 1024.0, 1e9, 1e9};
+  const std::size_t baseline =
+      simcluster::TraceDrivenSimulator::minimum_feasible_servers(records, base);
+  const auto servers = static_cast<std::size_t>(
+      std::max(1.0, std::floor(static_cast<double>(baseline) / 1.5)));
+  std::cout << "baseline cluster: " << baseline
+            << " servers; overcommitted cluster: " << servers
+            << " servers (+50%)\n\n";
+
+  util::Table table({"policy", "failure_prob_%", "throughput_loss_%",
+                     "mean_deflation_%", "preemptions"});
+  struct Row {
+    const char* label;
+    core::PolicyKind policy;
+    cluster::ReclamationMode mode;
+  };
+  for (const Row& row : {
+           Row{"proportional", core::PolicyKind::Proportional,
+               cluster::ReclamationMode::Deflation},
+           Row{"priority", core::PolicyKind::Priority,
+               cluster::ReclamationMode::Deflation},
+           Row{"deterministic", core::PolicyKind::Deterministic,
+               cluster::ReclamationMode::Deflation},
+           Row{"preemption", core::PolicyKind::Proportional,
+               cluster::ReclamationMode::Preemption},
+       }) {
+    simcluster::SimConfig config = base;
+    config.policy = row.policy;
+    config.mode = row.mode;
+    config.server_count = servers;
+    simcluster::TraceDrivenSimulator simulator(records, config);
+    const auto metrics = simulator.run();
+    table.add_row_labeled(
+        row.label,
+        {100.0 * (row.mode == cluster::ReclamationMode::Preemption
+                      ? metrics.preemption_probability
+                      : metrics.failure_probability),
+         100.0 * metrics.throughput_loss, 100.0 * metrics.mean_cpu_deflation,
+         static_cast<double>(metrics.preemptions)},
+        2);
+  }
+  table.print(std::cout);
+  std::cout << "\nDeflation admits everything the preemption baseline kills, "
+               "at a throughput cost of a few percent or less.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Feasibility study (§3 in miniature): how much slack do cloud VMs have,
+// and what does a fixed deflation level cost a single VM (Fig. 4's
+// underallocation area)?
+//
+//   $ ./build/examples/feasibility
+#include <iostream>
+
+#include "analysis/feasibility.hpp"
+#include "trace/azure.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace deflate;
+
+  trace::AzureTraceConfig config;
+  config.vm_count = 3000;
+  config.seed = 99;
+  config.duration = sim::SimTime::from_hours(48);
+  const auto records = trace::AzureTraceGenerator(config).generate();
+
+  // Population view: fraction of time above the deflated allocation.
+  util::Table table({"deflation_%", "median_time_underallocated_%",
+                     "q3_time_underallocated_%"});
+  for (const int d : {10, 30, 50, 70}) {
+    const auto box = analysis::cpu_underallocation_box(records, d / 100.0);
+    table.add_row_labeled(std::to_string(d),
+                          {100.0 * box.median, 100.0 * box.q3}, 1);
+  }
+  table.print(std::cout);
+
+  // Single-VM view (Fig. 4): deflate one interactive VM by 40% and compute
+  // the throughput it would lose.
+  for (const auto& record : records) {
+    if (record.workload != hv::WorkloadClass::Interactive ||
+        record.cpu.size() < 100) {
+      continue;
+    }
+    std::cout << "\nVM " << record.id << " (" << record.vcpus
+              << " cores): mean CPU " << 100.0 * record.cpu.mean()
+              << "%, p95 " << 100.0 * record.p95_cpu() << "%\n";
+    for (const double d : {0.2, 0.4, 0.6}) {
+      std::cout << "  deflated " << 100 * d << "%: throughput loss "
+                << 100.0 * analysis::throughput_loss(record, 1.0 - d)
+                << "%, time underallocated "
+                << 100.0 * record.cpu.fraction_above(1.0 - d) << "%\n";
+    }
+    break;
+  }
+  std::cout << "\nInteractive VMs carry enough slack that 30-50% deflation "
+               "is nearly free (§3.2); this is the headroom the cluster "
+               "policies monetize.\n";
+  return 0;
+}

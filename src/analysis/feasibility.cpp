@@ -1,0 +1,75 @@
+#include "analysis/feasibility.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace deflate::analysis {
+
+std::vector<double> cpu_underallocation_fractions(
+    std::span<const trace::VmRecord> records, double deflation,
+    const std::function<bool(const trace::VmRecord&)>& filter) {
+  const double threshold = 1.0 - deflation;
+  std::vector<double> fractions(records.size(), -1.0);
+  util::parallel_for(records.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const trace::VmRecord& record = records[i];
+      if (filter && !filter(record)) continue;
+      fractions[i] = record.cpu.fraction_above(threshold);
+    }
+  });
+  // Compact out filtered entries while preserving order.
+  std::vector<double> out;
+  out.reserve(fractions.size());
+  for (const double f : fractions) {
+    if (f >= 0.0) out.push_back(f);
+  }
+  return out;
+}
+
+util::BoxStats cpu_underallocation_box(
+    std::span<const trace::VmRecord> records, double deflation,
+    const std::function<bool(const trace::VmRecord&)>& filter) {
+  return util::BoxStats::from(
+      cpu_underallocation_fractions(records, deflation, filter));
+}
+
+util::BoxStats container_underallocation_box(
+    std::span<const trace::ContainerRecord> containers, ContainerSeries series,
+    double deflation) {
+  const double threshold = 1.0 - deflation;
+  std::vector<double> fractions(containers.size());
+  util::parallel_for(containers.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fractions[i] = series(containers[i]).fraction_above(threshold);
+    }
+  });
+  return util::BoxStats::from(fractions);
+}
+
+util::RunningStats container_utilization_stats(
+    std::span<const trace::ContainerRecord> containers, ContainerSeries series) {
+  std::mutex merge_mutex;
+  util::RunningStats total;
+  util::parallel_for(containers.size(), [&](std::size_t begin, std::size_t end) {
+    util::RunningStats local;
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const float s : series(containers[i]).samples()) {
+        local.push(static_cast<double>(s));
+      }
+    }
+    const std::scoped_lock lock(merge_mutex);
+    total.merge(local);
+  });
+  return total;
+}
+
+double throughput_loss(const trace::VmRecord& record, double alloc) {
+  const std::vector<float> allocation(record.cpu.size(),
+                                      static_cast<float>(alloc));
+  const auto result = record.cpu.underallocation(allocation);
+  return result.used > 0.0 ? result.lost / result.used : 0.0;
+}
+
+}  // namespace deflate::analysis

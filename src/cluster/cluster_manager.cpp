@@ -1,0 +1,281 @@
+#include "cluster/cluster_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mechanisms/mechanism.hpp"
+#include "util/logging.hpp"
+
+namespace deflate::cluster {
+
+ClusterManager::ServerNode::ServerNode(std::uint64_t id,
+                                       const ClusterConfig& config)
+    : hypervisor(id, config.server_capacity) {}
+
+ClusterManager::ClusterManager(ClusterConfig config)
+    : config_(std::move(config)),
+      policy_(core::make_policy(config_.policy)),
+      partitions_(config_.partitioned
+                      ? ClusterPartitions(config_.server_count, config_.pool_weights)
+                      : ClusterPartitions::single_pool(config_.server_count)) {
+  std::shared_ptr<mech::DeflationMechanism> mechanism =
+      mech::make_mechanism(config_.mechanism);
+  nodes_.reserve(config_.server_count);
+  for (std::size_t i = 0; i < config_.server_count; ++i) {
+    auto node = std::make_unique<ServerNode>(i, config_);
+    node->controller = std::make_unique<core::LocalDeflationController>(
+        node->hypervisor, policy_, mechanism);
+    node->view.host_id = i;
+    node->view.capacity = config_.server_capacity;
+    nodes_.push_back(std::move(node));
+    refresh_view(i);
+  }
+}
+
+void ClusterManager::refresh_view(std::size_t server) {
+  ServerNode& node = *nodes_[server];
+  const hv::Host& host = node.hypervisor.host();
+  node.view.available = host.available();
+  node.view.deflatable = config_.mode == ReclamationMode::Deflation
+                             ? node.controller->reclaimable_headroom()
+                             : res::ResourceVector{};
+  node.view.overcommit_ratio = host.overcommit_ratio();
+}
+
+std::vector<std::size_t> ClusterManager::candidate_servers(
+    const hv::VmSpec& spec) const {
+  const std::size_t pool = config_.partitioned
+                               ? pool_for_priority(spec.deflatable, spec.priority,
+                                                   partitions_.pool_count())
+                               : 0;
+  return partitions_.pool(pool);
+}
+
+bool ClusterManager::view_feasible(const HostView& view,
+                                   const res::ResourceVector& demand) const {
+  const res::ResourceVector need = (demand - view.available).clamped_nonneg();
+  return need.all_leq(view.deflatable, 1e-9);
+}
+
+double ClusterManager::min_launch_fraction(const hv::VmSpec& spec) const {
+  const hv::Vm probe(spec);  // for the survival floor
+  const res::ResourceVector floor = probe.allocation_floor();
+  const res::ResourceVector full = spec.vector();
+  double fraction = 0.0;
+  for (const res::Resource r : res::all_resources) {
+    if (full[r] <= 0.0) continue;
+    core::VmShare share;
+    share.id = spec.id;
+    share.max_alloc = full[r];
+    share.min_alloc = floor[r];
+    share.priority = spec.priority;
+    share.current = full[r];
+    fraction = std::max(fraction, policy_->min_retained(share) / full[r]);
+  }
+  return std::min(1.0, fraction);
+}
+
+PlacementResult ClusterManager::admit(const hv::VmSpec& spec, std::size_t server,
+                                      double fraction) {
+  ServerNode& node = *nodes_[server];
+  const res::ResourceVector demand = spec.vector() * fraction;
+
+  PlacementResult result;
+  const res::ResourceVector need =
+      (demand - node.hypervisor.host().available()).clamped_nonneg();
+  result.needed_reclamation = !need.is_zero();
+  if (result.needed_reclamation) {
+    ++stats_.reclamation_attempts;
+    const core::ReclaimOutcome outcome = node.controller->make_room_for(demand);
+    if (!outcome.success) {
+      ++stats_.reclamation_failures;
+      refresh_view(server);
+      result.status = PlacementResult::Status::Rejected;
+      return result;
+    }
+  }
+
+  hv::Vm& vm = node.hypervisor.create_vm(spec);
+  if (fraction < 1.0) {
+    node.controller->apply_allocation(vm, demand);
+    ++stats_.deflated_launches;
+    result.status = PlacementResult::Status::PlacedDeflated;
+  } else {
+    result.status = PlacementResult::Status::Placed;
+  }
+  result.host_id = server;
+  result.launch_fraction = fraction;
+  vm_locations_[spec.id] = server;
+  ++stats_.placements;
+  refresh_view(server);
+  return result;
+}
+
+PlacementResult ClusterManager::place_with_preemption(
+    const hv::VmSpec& spec, const std::vector<std::size_t>& candidates) {
+  const res::ResourceVector demand = spec.vector();
+  PlacementResult result;
+
+  // Feasibility with preemption: free capacity plus everything the
+  // deflatable (low-priority) VMs currently hold.
+  std::vector<HostView> views;
+  views.reserve(candidates.size());
+  for (const std::size_t idx : candidates) {
+    HostView view = nodes_[idx]->view;
+    res::ResourceVector preemptable;
+    if (!spec.deflatable) {  // only on-demand VMs may evict others
+      for (const hv::Vm* vm : nodes_[idx]->hypervisor.host().vms()) {
+        if (vm->spec().deflatable) preemptable += vm->effective_allocation();
+      }
+    }
+    view.deflatable = preemptable;
+    view.feasible = (demand - view.available).clamped_nonneg().all_leq(
+        preemptable, 1e-9);
+    views.push_back(view);
+  }
+  const auto best = pick_host(config_.placement, demand, views);
+  if (!best) {
+    ++stats_.rejections;
+    result.status = PlacementResult::Status::Rejected;
+    return result;
+  }
+  const std::size_t server = candidates[*best];
+  ServerNode& node = *nodes_[server];
+
+  // Preempt lowest-priority deflatable VMs until the demand fits (§7.4.1's
+  // "cloud operators preempt low-priority VMs under resource pressure").
+  if (!demand.all_leq(node.hypervisor.host().available(), 1e-9)) {
+    ++stats_.reclamation_attempts;
+    std::vector<hv::Vm*> victims;
+    for (hv::Vm* vm : node.hypervisor.host().vms()) {
+      if (vm->spec().deflatable) victims.push_back(vm);
+    }
+    std::sort(victims.begin(), victims.end(), [](const hv::Vm* a, const hv::Vm* b) {
+      if (a->spec().priority != b->spec().priority) {
+        return a->spec().priority < b->spec().priority;
+      }
+      return a->spec().id < b->spec().id;
+    });
+    for (hv::Vm* victim : victims) {
+      if (demand.all_leq(node.hypervisor.host().available(), 1e-9)) break;
+      const hv::VmSpec victim_spec = victim->spec();
+      node.hypervisor.destroy_vm(victim_spec.id);
+      vm_locations_.erase(victim_spec.id);
+      ++stats_.preemptions;
+      for (const auto& callback : preemption_callbacks_) callback(victim_spec);
+    }
+    refresh_view(server);
+  }
+  return admit(spec, server, 1.0);
+}
+
+PlacementResult ClusterManager::place_vm(const hv::VmSpec& spec) {
+  const std::vector<std::size_t> candidates = candidate_servers(spec);
+  if (config_.mode == ReclamationMode::Preemption) {
+    return place_with_preemption(spec, candidates);
+  }
+
+  const res::ResourceVector full_demand = spec.vector();
+  auto try_fraction = [&](double fraction) -> std::optional<std::size_t> {
+    const res::ResourceVector demand = full_demand * fraction;
+    std::vector<HostView> views;
+    views.reserve(candidates.size());
+    for (const std::size_t idx : candidates) {
+      views.push_back(nodes_[idx]->view);
+    }
+    // Deflation is a *pressure* response (§5): while surplus capacity
+    // exists somewhere, place without deflating anyone. Only when no
+    // server fits the demand in free capacity does the reclamation path
+    // rank servers by their deflatable headroom.
+    for (auto& view : views) {
+      view.feasible = demand.all_leq(view.available, 1e-9);
+    }
+    if (const auto best = pick_host(config_.placement, demand, views)) {
+      return candidates[*best];
+    }
+    for (auto& view : views) {
+      view.feasible = view_feasible(view, demand);
+    }
+    if (const auto best = pick_host(config_.placement, demand, views,
+                                    /*under_pressure=*/true)) {
+      return candidates[*best];
+    }
+    return std::nullopt;
+  };
+
+  if (const auto server = try_fraction(1.0)) {
+    return admit(spec, *server, 1.0);
+  }
+
+  // No server can host the full size. Deflatable VMs may start deflated
+  // (§5.1.1); scan downwards to the policy's minimum retained fraction.
+  if (spec.deflatable) {
+    ++stats_.reclamation_attempts;  // full-size reclamation was infeasible
+    const double min_fraction = min_launch_fraction(spec);
+    for (double fraction = 1.0 - config_.deflated_launch_step;
+         fraction >= min_fraction - 1e-9;
+         fraction -= config_.deflated_launch_step) {
+      const double f = std::max(fraction, min_fraction);
+      if (const auto server = try_fraction(f)) {
+        return admit(spec, *server, f);
+      }
+    }
+    ++stats_.reclamation_failures;
+  } else {
+    ++stats_.reclamation_attempts;
+    ++stats_.reclamation_failures;
+  }
+  ++stats_.rejections;
+  PlacementResult result;
+  result.needed_reclamation = true;
+  result.status = PlacementResult::Status::Rejected;
+  return result;
+}
+
+bool ClusterManager::remove_vm(std::uint64_t vm_id) {
+  const auto it = vm_locations_.find(vm_id);
+  if (it == vm_locations_.end()) return false;
+  const std::size_t server = it->second;
+  vm_locations_.erase(it);
+  nodes_[server]->hypervisor.destroy_vm(vm_id);
+  if (config_.mode == ReclamationMode::Deflation &&
+      config_.reinflate_on_departure) {
+    nodes_[server]->controller->redistribute_free();
+  }
+  refresh_view(server);
+  return true;
+}
+
+hv::Vm* ClusterManager::find_vm(std::uint64_t vm_id) {
+  const auto it = vm_locations_.find(vm_id);
+  if (it == vm_locations_.end()) return nullptr;
+  return nodes_[it->second]->hypervisor.host().find_vm(vm_id);
+}
+
+std::optional<std::size_t> ClusterManager::server_of(std::uint64_t vm_id) const {
+  const auto it = vm_locations_.find(vm_id);
+  if (it == vm_locations_.end()) return std::nullopt;
+  return it->second;
+}
+
+res::ResourceVector ClusterManager::total_capacity() const {
+  return config_.server_capacity * static_cast<double>(nodes_.size());
+}
+
+res::ResourceVector ClusterManager::total_allocated() const {
+  res::ResourceVector total;
+  for (const auto& node : nodes_) total += node->hypervisor.host().allocated();
+  return total;
+}
+
+res::ResourceVector ClusterManager::total_committed() const {
+  res::ResourceVector total;
+  for (const auto& node : nodes_) total += node->hypervisor.host().committed();
+  return total;
+}
+
+void ClusterManager::subscribe_deflation(const DeflationCallback& callback) {
+  for (auto& node : nodes_) node->controller->subscribe(callback);
+}
+
+}  // namespace deflate::cluster

@@ -1,0 +1,141 @@
+// Centralized cluster manager (§6): places VMs on servers with the
+// deflation-aware fitness policy, drives per-server local deflation
+// controllers, and — for the paper's baseline comparison — can instead run
+// classic transient-server *preemption* as its reclamation mode.
+//
+// Placement is the paper's three-step protocol: (1) the manager ranks
+// servers by fitness; (2) the chosen server's local controller computes the
+// deflation needed to accommodate the VM and rejects it if any constraint
+// is violated; (3) the deflation is performed and the VM launched —
+// possibly *starting deflated* (§5.1.1) when no server can host its full
+// size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/partitions.hpp"
+#include "cluster/placement.hpp"
+#include "core/local_controller.hpp"
+#include "core/policy.hpp"
+
+namespace deflate::cluster {
+
+enum class ReclamationMode { Deflation, Preemption };
+
+struct ClusterConfig {
+  std::size_t server_count = 40;
+  /// §7.1.2: 48 CPUs and 128 GB RAM per server; disk/net sized generously.
+  res::ResourceVector server_capacity{48.0, 128.0 * 1024.0, 4000.0, 40000.0};
+  core::PolicyKind policy = core::PolicyKind::Proportional;
+  ReclamationMode mode = ReclamationMode::Deflation;
+  /// Which mechanism the local controllers drive (ablation: hybrid vs
+  /// transparent vs explicit vs balloon).
+  mech::MechanismKind mechanism = mech::MechanismKind::Hybrid;
+  /// Host-ranking heuristic (ablation: paper's fitness vs first/best/worst
+  /// fit).
+  PlacementStrategy placement = PlacementStrategy::Fitness;
+  /// When false, departures do not trigger reinflation (ablation for the
+  /// §5.1.3 reinflation rule).
+  bool reinflate_on_departure = true;
+  bool partitioned = false;
+  /// Pool weights when partitioned: pool 0 = on-demand, then one pool per
+  /// deflatable priority level.
+  std::vector<double> pool_weights{0.5, 0.125, 0.125, 0.125, 0.125};
+  /// Granularity of deflated-launch attempts (fraction steps).
+  double deflated_launch_step = 0.05;
+};
+
+struct PlacementResult {
+  enum class Status {
+    Placed,
+    PlacedDeflated,   ///< admitted, but launched below its full size
+    Rejected,         ///< reclamation failure / partition full
+  };
+  Status status = Status::Rejected;
+  std::uint64_t host_id = 0;
+  bool needed_reclamation = false;  ///< free capacity alone was insufficient
+  double launch_fraction = 1.0;
+
+  [[nodiscard]] bool ok() const noexcept { return status != Status::Rejected; }
+};
+
+struct ClusterStats {
+  std::uint64_t placements = 0;
+  std::uint64_t reclamation_attempts = 0;
+  std::uint64_t reclamation_failures = 0;
+  std::uint64_t deflated_launches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t rejections = 0;
+};
+
+class ClusterManager {
+ public:
+  using PreemptionCallback = std::function<void(const hv::VmSpec&)>;
+  using DeflationCallback = core::LocalDeflationController::DeflationEvent;
+
+  explicit ClusterManager(ClusterConfig config);
+
+  /// Places a VM per the three-step protocol; see PlacementResult.
+  PlacementResult place_vm(const hv::VmSpec& spec);
+
+  /// Terminates a VM and reinflates survivors on its server. Returns false
+  /// if the VM is unknown (e.g. already preempted).
+  bool remove_vm(std::uint64_t vm_id);
+
+  [[nodiscard]] std::size_t server_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] hv::Host& host(std::size_t i) { return nodes_.at(i)->hypervisor.host(); }
+  [[nodiscard]] core::LocalDeflationController& controller(std::size_t i) {
+    return *nodes_.at(i)->controller;
+  }
+  [[nodiscard]] hv::Vm* find_vm(std::uint64_t vm_id);
+  [[nodiscard]] std::optional<std::size_t> server_of(std::uint64_t vm_id) const;
+
+  [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] res::ResourceVector total_capacity() const;
+  [[nodiscard]] res::ResourceVector total_allocated() const;
+  [[nodiscard]] res::ResourceVector total_committed() const;
+
+  /// Observers: deflation events from any server; preemption events when
+  /// running in Preemption mode.
+  void subscribe_deflation(const DeflationCallback& callback);
+  void subscribe_preemption(PreemptionCallback callback) {
+    preemption_callbacks_.push_back(std::move(callback));
+  }
+
+ private:
+  struct ServerNode {
+    explicit ServerNode(std::uint64_t id, const ClusterConfig& config);
+    hv::SimHypervisor hypervisor;
+    std::unique_ptr<core::LocalDeflationController> controller;
+    HostView view;
+  };
+
+  void refresh_view(std::size_t server);
+  [[nodiscard]] std::vector<std::size_t> candidate_servers(
+      const hv::VmSpec& spec) const;
+  /// Feasibility from cached views (exact between mutations).
+  [[nodiscard]] bool view_feasible(const HostView& view,
+                                   const res::ResourceVector& demand) const;
+  PlacementResult admit(const hv::VmSpec& spec, std::size_t server,
+                        double fraction);
+  PlacementResult place_with_preemption(const hv::VmSpec& spec,
+                                        const std::vector<std::size_t>& candidates);
+  /// Smallest launch fraction the configured policy would ever leave the
+  /// VM with (deflated-launch lower bound).
+  [[nodiscard]] double min_launch_fraction(const hv::VmSpec& spec) const;
+
+  ClusterConfig config_;
+  std::shared_ptr<core::DeflationPolicy> policy_;
+  std::vector<std::unique_ptr<ServerNode>> nodes_;
+  ClusterPartitions partitions_;
+  std::unordered_map<std::uint64_t, std::size_t> vm_locations_;
+  ClusterStats stats_;
+  std::vector<PreemptionCallback> preemption_callbacks_;
+};
+
+}  // namespace deflate::cluster

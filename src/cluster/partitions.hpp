@@ -1,0 +1,40 @@
+// Cluster partitioning by priority (§5.2.1): the cluster is split into
+// priority pools and VMs are placed only on their pool's servers, bounding
+// performance interference between priority classes. On-demand VMs get
+// their own pool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deflate::cluster {
+
+class ClusterPartitions {
+ public:
+  /// `pool_weights[k]` is the expected share of committed resources for
+  /// pool k ("the size of the different pools can be based on the typical
+  /// workload mix"); every pool receives at least one server.
+  ClusterPartitions(std::size_t server_count,
+                    const std::vector<double>& pool_weights);
+
+  /// Unpartitioned cluster: a single pool owning every server.
+  static ClusterPartitions single_pool(std::size_t server_count);
+
+  [[nodiscard]] std::size_t pool_count() const noexcept {
+    return pools_.size();
+  }
+  /// Server indices belonging to pool `k`.
+  [[nodiscard]] const std::vector<std::size_t>& pool(std::size_t k) const {
+    return pools_.at(k);
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> pools_;
+};
+
+/// Maps priorities to pools: pool 0 is on-demand; deflatable VMs map by
+/// priority level (4 levels as in §7.1.2: 0.2 / 0.4 / 0.6 / 0.8).
+[[nodiscard]] std::size_t pool_for_priority(bool deflatable, double priority,
+                                            std::size_t pool_count) noexcept;
+
+}  // namespace deflate::cluster

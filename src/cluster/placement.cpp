@@ -1,0 +1,100 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+
+namespace deflate::cluster {
+
+res::ResourceVector availability_vector(const HostView& host) {
+  // §5.2: A_j = Total - Used + deflatable_j / overcommitted_j. A server at
+  // or below full commitment divides by 1 (no discount); overcommitted
+  // servers see their deflatable headroom count for less, steering new VMs
+  // toward less-loaded servers.
+  const double overcommit_divisor = std::max(1.0, host.overcommit_ratio);
+  return (host.available + host.deflatable * (1.0 / overcommit_divisor))
+      .clamped_nonneg();
+}
+
+double fitness(const res::ResourceVector& demand, const HostView& host) {
+  return res::cosine_similarity(demand, availability_vector(host));
+}
+
+double pressure_fitness(const res::ResourceVector& demand,
+                        const HostView& host) {
+  // Normalize both vectors by the server capacity so cores and MiB are
+  // commensurate, then project availability onto the demand direction.
+  res::ResourceVector demand_n, avail_n;
+  const res::ResourceVector availability = availability_vector(host);
+  for (const res::Resource r : res::all_resources) {
+    if (host.capacity[r] <= 0.0) continue;
+    demand_n[r] = demand[r] / host.capacity[r];
+    avail_n[r] = availability[r] / host.capacity[r];
+  }
+  const double demand_norm = demand_n.norm();
+  if (demand_norm <= 1e-12) return avail_n.norm();
+  return demand_n.dot(avail_n) / demand_norm;
+}
+
+std::optional<std::size_t> pick_best_host(const res::ResourceVector& demand,
+                                          std::span<const HostView> hosts,
+                                          bool under_pressure) {
+  std::optional<std::size_t> best;
+  double best_fitness = -1.0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (!hosts[i].feasible) continue;
+    const double f = under_pressure ? pressure_fitness(demand, hosts[i])
+                                    : fitness(demand, hosts[i]);
+    if (f > best_fitness ||
+        (f == best_fitness && best &&
+         hosts[i].host_id < hosts[*best].host_id)) {
+      best = i;
+      best_fitness = f;
+    }
+  }
+  return best;
+}
+
+const char* placement_strategy_name(PlacementStrategy s) noexcept {
+  switch (s) {
+    case PlacementStrategy::Fitness: return "fitness";
+    case PlacementStrategy::FirstFit: return "first-fit";
+    case PlacementStrategy::BestFit: return "best-fit";
+    case PlacementStrategy::WorstFit: return "worst-fit";
+  }
+  return "?";
+}
+
+std::optional<std::size_t> pick_host(PlacementStrategy strategy,
+                                     const res::ResourceVector& demand,
+                                     std::span<const HostView> hosts,
+                                     bool under_pressure) {
+  if (strategy == PlacementStrategy::Fitness) {
+    return pick_best_host(demand, hosts, under_pressure);
+  }
+  std::optional<std::size_t> best;
+  double best_score = 0.0;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    if (!hosts[i].feasible) continue;
+    if (strategy == PlacementStrategy::FirstFit) {
+      if (!best || hosts[i].host_id < hosts[*best].host_id) best = i;
+      continue;
+    }
+    // Leftover mass after placing the demand, capacity-normalized.
+    res::ResourceVector leftover_n;
+    const res::ResourceVector availability = availability_vector(hosts[i]);
+    for (const res::Resource r : res::all_resources) {
+      if (hosts[i].capacity[r] <= 0.0) continue;
+      leftover_n[r] = (availability[r] - demand[r]) / hosts[i].capacity[r];
+    }
+    const double leftover = leftover_n.clamped_nonneg().norm();
+    const bool better = strategy == PlacementStrategy::BestFit
+                            ? (!best || leftover < best_score)
+                            : (!best || leftover > best_score);
+    if (better) {
+      best = i;
+      best_score = leftover;
+    }
+  }
+  return best;
+}
+
+}  // namespace deflate::cluster

@@ -1,0 +1,70 @@
+// Deflation-aware VM placement (§5.2).
+//
+// Fitness of server j for demand D is the cosine similarity between D and
+// the server's availability vector
+//   A_j = Total_j - Used_j + deflatable_j / overcommitted_j,
+// where deflatable_j is what deflation could reclaim and overcommitted_j
+// discounts servers that are already squeezed — preferring less-
+// overcommitted servers and thus balancing load (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "resources/resource_vector.hpp"
+
+namespace deflate::cluster {
+
+/// Cheap per-server snapshot maintained by the cluster manager.
+struct HostView {
+  std::uint64_t host_id = 0;
+  res::ResourceVector capacity;
+  res::ResourceVector available;   ///< Total - Used (allocation-based)
+  res::ResourceVector deflatable;  ///< policy-reclaimable headroom
+  double overcommit_ratio = 0.0;   ///< committed / capacity (max of cpu, mem)
+  bool feasible = false;           ///< can_fit(demand) on this server
+};
+
+/// Availability vector A_j as defined above.
+[[nodiscard]] res::ResourceVector availability_vector(const HostView& host);
+
+/// Fitness score; larger is better.
+[[nodiscard]] double fitness(const res::ResourceVector& demand,
+                             const HostView& host);
+
+/// Magnitude-aware fitness used when a placement *requires* deflation:
+/// the projection of the (per-dimension capacity-normalized) availability
+/// vector onto the demand direction. Cosine similarity is scale-invariant,
+/// so by itself it cannot express the paper's "prefers servers with lower
+/// overcommitment" behaviour; ranking pressured placements by projected
+/// availability spreads the reclamation across the servers with the most
+/// deflatable headroom, keeping per-VM deflation shallow (§5.2's load
+/// balancing intent; Tetris [19], which the paper builds on, scores with
+/// the dot product for the same reason).
+[[nodiscard]] double pressure_fitness(const res::ResourceVector& demand,
+                                      const HostView& host);
+
+/// Index of the feasible host with the highest fitness (ties -> lower
+/// host_id), or nullopt if no host is feasible. `under_pressure` selects
+/// the magnitude-aware score.
+[[nodiscard]] std::optional<std::size_t> pick_best_host(
+    const res::ResourceVector& demand, std::span<const HostView> hosts,
+    bool under_pressure = false);
+
+/// Placement-strategy ablation (DESIGN.md §5): the paper's fitness policy
+/// vs the classic bin-packing heuristics it competes with (§5.2 "policies
+/// such as best-fit or first-fit can be used").
+enum class PlacementStrategy { Fitness, FirstFit, BestFit, WorstFit };
+
+[[nodiscard]] const char* placement_strategy_name(PlacementStrategy s) noexcept;
+
+/// Strategy-parameterized host selection over the same feasibility mask:
+///   FirstFit — lowest host id; BestFit — least leftover capacity (tightest
+///   pack); WorstFit — most leftover capacity (max spreading).
+[[nodiscard]] std::optional<std::size_t> pick_host(
+    PlacementStrategy strategy, const res::ResourceVector& demand,
+    std::span<const HostView> hosts, bool under_pressure = false);
+
+}  // namespace deflate::cluster

@@ -1,0 +1,49 @@
+#include "cluster/pricing.hpp"
+
+namespace deflate::cluster {
+
+const char* pricing_scheme_name(PricingScheme s) noexcept {
+  switch (s) {
+    case PricingScheme::Static: return "static";
+    case PricingScheme::PriorityBased: return "priority-based";
+    case PricingScheme::AllocationBased: return "allocation-based";
+  }
+  return "?";
+}
+
+RevenueTotals& RevenueTotals::operator+=(const RevenueTotals& rhs) noexcept {
+  od_committed_core_hours += rhs.od_committed_core_hours;
+  df_committed_core_hours += rhs.df_committed_core_hours;
+  df_allocated_core_hours += rhs.df_allocated_core_hours;
+  df_priority_committed_core_hours += rhs.df_priority_committed_core_hours;
+  return *this;
+}
+
+double on_demand_revenue(const RevenueTotals& totals) noexcept {
+  return kOnDemandRate * totals.od_committed_core_hours;
+}
+
+double deflatable_revenue(const RevenueTotals& totals,
+                          PricingScheme scheme) noexcept {
+  switch (scheme) {
+    case PricingScheme::Static:
+      return kStaticDeflatableRate * kOnDemandRate *
+             totals.df_committed_core_hours;
+    case PricingScheme::PriorityBased:
+      // Price per core-hour equals the priority level (§5.2.2).
+      return kOnDemandRate * totals.df_priority_committed_core_hours;
+    case PricingScheme::AllocationBased:
+      return kStaticDeflatableRate * kOnDemandRate *
+             totals.df_allocated_core_hours;
+  }
+  return 0.0;
+}
+
+double revenue_increase_percent(const RevenueTotals& totals,
+                                PricingScheme scheme) noexcept {
+  const double base = on_demand_revenue(totals);
+  if (base <= 0.0) return 0.0;
+  return 100.0 * deflatable_revenue(totals, scheme) / base;
+}
+
+}  // namespace deflate::cluster

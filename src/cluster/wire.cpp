@@ -1,0 +1,236 @@
+#include "cluster/wire.hpp"
+
+#include <sstream>
+
+namespace deflate::cluster::wire {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '&' || c == '=' || c == '%') {
+      static const char* hex = "0123456789ABCDEF";
+      out += '%';
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += hex[static_cast<unsigned char>(c) & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& text) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return 0;
+      };
+      out += static_cast<char>(nibble(text[i + 1]) * 16 + nibble(text[i + 2]));
+      i += 2;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+double field_double(const std::map<std::string, std::string>& fields,
+                    const std::string& key, double fallback = 0.0) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? fallback : std::stod(it->second);
+}
+
+std::uint64_t field_u64(const std::map<std::string, std::string>& fields,
+                        const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? 0 : std::stoull(it->second);
+}
+
+bool has_fields(const std::map<std::string, std::string>& fields,
+                std::initializer_list<const char*> keys) {
+  for (const char* key : keys) {
+    if (fields.find(key) == fields.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_fields(const std::map<std::string, std::string>& fields) {
+  std::string out;
+  for (const auto& [key, value] : fields) {
+    if (!out.empty()) out += '&';
+    out += escape(key) + '=' + escape(value);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> decode_fields(const std::string& line) {
+  std::map<std::string, std::string> fields;
+  std::istringstream stream(line);
+  std::string pair;
+  while (std::getline(stream, pair, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    fields[unescape(pair.substr(0, eq))] = unescape(pair.substr(eq + 1));
+  }
+  return fields;
+}
+
+std::string encode_vector(const res::ResourceVector& v) {
+  std::ostringstream out;
+  out << v.cpu() << ',' << v.memory() << ',' << v.disk_bw() << ','
+      << v.net_bw();
+  return out.str();
+}
+
+std::optional<res::ResourceVector> decode_vector(const std::string& text) {
+  std::istringstream stream(text);
+  std::string token;
+  double values[res::kNumResources];
+  for (double& value : values) {
+    if (!std::getline(stream, token, ',')) return std::nullopt;
+    try {
+      value = std::stod(token);
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return res::ResourceVector(values[0], values[1], values[2], values[3]);
+}
+
+std::string PlaceRequest::encode() const {
+  return encode_fields({{"type", "place_request"},
+                        {"vm", std::to_string(vm_id)},
+                        {"demand", encode_vector(demand)},
+                        {"priority", std::to_string(priority)},
+                        {"deflatable", deflatable ? "1" : "0"}});
+}
+
+std::optional<PlaceRequest> PlaceRequest::decode(const std::string& line) {
+  const auto fields = decode_fields(line);
+  if (!has_fields(fields, {"type", "vm", "demand"}) ||
+      fields.at("type") != "place_request") {
+    return std::nullopt;
+  }
+  const auto demand = decode_vector(fields.at("demand"));
+  if (!demand) return std::nullopt;
+  PlaceRequest request;
+  request.vm_id = field_u64(fields, "vm");
+  request.demand = *demand;
+  request.priority = field_double(fields, "priority", 1.0);
+  request.deflatable = fields.count("deflatable") && fields.at("deflatable") == "1";
+  return request;
+}
+
+std::string PlaceResponse::encode() const {
+  return encode_fields({{"type", "place_response"},
+                        {"vm", std::to_string(vm_id)},
+                        {"accepted", accepted ? "1" : "0"},
+                        {"host", std::to_string(host_id)},
+                        {"fraction", std::to_string(launch_fraction)}});
+}
+
+std::optional<PlaceResponse> PlaceResponse::decode(const std::string& line) {
+  const auto fields = decode_fields(line);
+  if (!has_fields(fields, {"type", "vm", "accepted"}) ||
+      fields.at("type") != "place_response") {
+    return std::nullopt;
+  }
+  PlaceResponse response;
+  response.vm_id = field_u64(fields, "vm");
+  response.accepted = fields.at("accepted") == "1";
+  response.host_id = field_u64(fields, "host");
+  response.launch_fraction = field_double(fields, "fraction", 1.0);
+  return response;
+}
+
+std::string DeflateCommand::encode() const {
+  return encode_fields({{"type", "deflate"},
+                        {"vm", std::to_string(vm_id)},
+                        {"target", encode_vector(target)}});
+}
+
+std::optional<DeflateCommand> DeflateCommand::decode(const std::string& line) {
+  const auto fields = decode_fields(line);
+  if (!has_fields(fields, {"type", "vm", "target"}) ||
+      fields.at("type") != "deflate") {
+    return std::nullopt;
+  }
+  const auto target = decode_vector(fields.at("target"));
+  if (!target) return std::nullopt;
+  DeflateCommand command;
+  command.vm_id = field_u64(fields, "vm");
+  command.target = *target;
+  return command;
+}
+
+std::string DeflationNotice::encode() const {
+  return encode_fields({{"type", "deflation_notice"},
+                        {"vm", std::to_string(vm_id)},
+                        {"old", encode_vector(old_alloc)},
+                        {"new", encode_vector(new_alloc)}});
+}
+
+std::optional<DeflationNotice> DeflationNotice::decode(const std::string& line) {
+  const auto fields = decode_fields(line);
+  if (!has_fields(fields, {"type", "vm", "old", "new"}) ||
+      fields.at("type") != "deflation_notice") {
+    return std::nullopt;
+  }
+  const auto old_alloc = decode_vector(fields.at("old"));
+  const auto new_alloc = decode_vector(fields.at("new"));
+  if (!old_alloc || !new_alloc) return std::nullopt;
+  DeflationNotice notice;
+  notice.vm_id = field_u64(fields, "vm");
+  notice.old_alloc = *old_alloc;
+  notice.new_alloc = *new_alloc;
+  return notice;
+}
+
+std::string UtilizationReport::encode() const {
+  return encode_fields({{"type", "utilization"},
+                        {"host", std::to_string(host_id)},
+                        {"available", encode_vector(available)},
+                        {"committed", encode_vector(committed)},
+                        {"overcommit", std::to_string(overcommit_ratio)}});
+}
+
+std::optional<UtilizationReport> UtilizationReport::decode(
+    const std::string& line) {
+  const auto fields = decode_fields(line);
+  if (!has_fields(fields, {"type", "host", "available", "committed"}) ||
+      fields.at("type") != "utilization") {
+    return std::nullopt;
+  }
+  const auto available = decode_vector(fields.at("available"));
+  const auto committed = decode_vector(fields.at("committed"));
+  if (!available || !committed) return std::nullopt;
+  UtilizationReport report;
+  report.host_id = field_u64(fields, "host");
+  report.available = *available;
+  report.committed = *committed;
+  report.overcommit_ratio = field_double(fields, "overcommit");
+  return report;
+}
+
+void MessageBus::subscribe(const std::string& topic, Handler handler) {
+  topics_[topic].push_back(std::move(handler));
+}
+
+std::size_t MessageBus::publish(const std::string& topic,
+                                const std::string& line) {
+  ++published_;
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return 0;
+  for (const Handler& handler : it->second) handler(line);
+  return it->second.size();
+}
+
+}  // namespace deflate::cluster::wire

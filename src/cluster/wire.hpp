@@ -1,0 +1,110 @@
+// Wire protocol between the centralized cluster manager and the per-server
+// local controllers.
+//
+// The paper's prototype splits these across machines "communicating with
+// each other via a REST API" (§6). This module models that boundary with
+// explicitly serialized messages over an in-process bus: every cross-
+// component interaction can be captured, logged, replayed, or re-pointed
+// at a real HTTP transport without touching policy code. Encoding is a
+// single text line of `key=value` pairs (URL-query style), the moral
+// equivalent of the prototype's REST payloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "resources/resource_vector.hpp"
+
+namespace deflate::cluster::wire {
+
+/// key=value&key=value codec used by all messages.
+[[nodiscard]] std::string encode_fields(
+    const std::map<std::string, std::string>& fields);
+[[nodiscard]] std::map<std::string, std::string> decode_fields(
+    const std::string& line);
+
+[[nodiscard]] std::string encode_vector(const res::ResourceVector& v);
+[[nodiscard]] std::optional<res::ResourceVector> decode_vector(
+    const std::string& text);
+
+/// POST /vms — manager asks a server to host a VM.
+struct PlaceRequest {
+  std::uint64_t vm_id = 0;
+  res::ResourceVector demand;
+  double priority = 1.0;
+  bool deflatable = false;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<PlaceRequest> decode(const std::string& line);
+};
+
+/// Response to PlaceRequest.
+struct PlaceResponse {
+  std::uint64_t vm_id = 0;
+  bool accepted = false;
+  std::uint64_t host_id = 0;
+  double launch_fraction = 1.0;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<PlaceResponse> decode(const std::string& line);
+};
+
+/// POST /vms/{id}/allocation — manager-initiated deflation/reinflation.
+struct DeflateCommand {
+  std::uint64_t vm_id = 0;
+  res::ResourceVector target;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<DeflateCommand> decode(const std::string& line);
+};
+
+/// Server -> application manager notification (Fig. 1's "Deflate VM
+/// Notification" arrow).
+struct DeflationNotice {
+  std::uint64_t vm_id = 0;
+  res::ResourceVector old_alloc;
+  res::ResourceVector new_alloc;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<DeflationNotice> decode(const std::string& line);
+};
+
+/// Periodic server -> manager state update ("each server updates the
+/// central master about all changes in server utilization after every
+/// deflation event", §6).
+struct UtilizationReport {
+  std::uint64_t host_id = 0;
+  res::ResourceVector available;
+  res::ResourceVector committed;
+  double overcommit_ratio = 0.0;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static std::optional<UtilizationReport> decode(
+      const std::string& line);
+};
+
+/// Synchronous in-process topic bus standing in for HTTP. Delivery is
+/// in subscription order (deterministic); handlers receive the encoded
+/// line exactly as published.
+class MessageBus {
+ public:
+  using Handler = std::function<void(const std::string& line)>;
+
+  void subscribe(const std::string& topic, Handler handler);
+  /// Returns the number of handlers that received the message.
+  std::size_t publish(const std::string& topic, const std::string& line);
+
+  [[nodiscard]] std::uint64_t messages_published() const noexcept {
+    return published_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Handler>> topics_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace deflate::cluster::wire

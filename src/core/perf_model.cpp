@@ -1,0 +1,117 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deflate::core {
+
+PerfCurve PerfCurve::from_points(std::vector<std::pair<double, double>> points) {
+  if (points.size() < 2) {
+    throw std::invalid_argument("PerfCurve needs at least two points");
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].first <= points[i - 1].first) {
+      throw std::invalid_argument("PerfCurve points must be strictly increasing");
+    }
+  }
+  PerfCurve curve;
+  curve.points_ = std::move(points);
+  return curve;
+}
+
+double PerfCurve::performance(double deflation) const noexcept {
+  if (deflation <= points_.front().first) return points_.front().second;
+  if (deflation >= points_.back().first) return points_.back().second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (deflation <= points_[i].first) {
+      const auto& [x0, y0] = points_[i - 1];
+      const auto& [x1, y1] = points_[i];
+      const double t = (deflation - x0) / (x1 - x0);
+      return y0 + t * (y1 - y0);
+    }
+  }
+  return points_.back().second;
+}
+
+double PerfCurve::response_time_multiplier(double deflation) const noexcept {
+  constexpr double kMinPerf = 0.01;
+  return 1.0 / std::max(kMinPerf, performance(deflation));
+}
+
+double PerfCurve::slack(double tolerance) const noexcept {
+  const double threshold = 1.0 - tolerance;
+  double best = 0.0;
+  for (int step = 0; step <= 1000; ++step) {
+    const double d = static_cast<double>(step) / 1000.0;
+    if (performance(d) >= threshold) best = d;
+  }
+  return best;
+}
+
+PerfCurve PerfCurve::specjbb() {
+  // Fig. 3: "SpecJBB not exhibiting any slack at all" — immediate, roughly
+  // linear decline with a knee near 60% deflation.
+  return from_points({{0.0, 1.00},
+                      {0.10, 0.91},
+                      {0.20, 0.82},
+                      {0.40, 0.62},
+                      {0.60, 0.42},
+                      {0.70, 0.22},
+                      {0.80, 0.08},
+                      {1.00, 0.00}});
+}
+
+PerfCurve PerfCurve::kcompile() {
+  // Modest slack (~20%), then a gradual, slightly sub-linear decline.
+  return from_points({{0.0, 1.00},
+                      {0.20, 0.98},
+                      {0.40, 0.87},
+                      {0.60, 0.67},
+                      {0.80, 0.38},
+                      {0.90, 0.17},
+                      {1.00, 0.00}});
+}
+
+PerfCurve PerfCurve::memcached() {
+  // Large slack: negligible impact through ~50% deflation (Fig. 3 and the
+  // §3.2.2 discussion of memcached's resilience).
+  return from_points({{0.0, 1.00},
+                      {0.30, 1.00},
+                      {0.50, 0.96},
+                      {0.70, 0.82},
+                      {0.85, 0.52},
+                      {1.00, 0.00}});
+}
+
+PerfCurve PerfCurve::abstract_model(double slack_end, double knee,
+                                    double knee_perf) {
+  slack_end = std::clamp(slack_end, 0.0, 0.98);
+  knee = std::clamp(knee, slack_end + 0.01, 0.99);
+  knee_perf = std::clamp(knee_perf, 0.01, 1.0);
+  return from_points({{0.0, 1.0},
+                      {slack_end, 1.0},
+                      {knee, knee_perf},
+                      {1.0, 0.0}});
+}
+
+double MemoryPerfModel::rt_multiplier(double swap_pressure,
+                                      bool guest_assisted) const noexcept {
+  swap_pressure = std::clamp(swap_pressure, 0.0, 1.0);
+  const double swap_term = 1.0 + swap_penalty_linear * swap_pressure +
+                           swap_penalty_quadratic * swap_pressure * swap_pressure;
+  const double gain = guest_assisted ? (1.0 - hotplug_gain) : 1.0;
+  return gain * swap_term;
+}
+
+double MemoryPerfModel::rt_multiplier_balloon(double swap_pressure,
+                                              double balloon_fraction)
+    const noexcept {
+  swap_pressure = std::clamp(swap_pressure, 0.0, 1.0);
+  balloon_fraction = std::clamp(balloon_fraction, 0.0, 1.0);
+  const double swap_term = 1.0 + swap_penalty_linear * swap_pressure +
+                           swap_penalty_quadratic * swap_pressure * swap_pressure;
+  return swap_term * (1.0 + balloon_overhead * balloon_fraction);
+}
+
+}  // namespace deflate::core

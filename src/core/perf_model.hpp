@@ -1,0 +1,74 @@
+// Application performance under deflation (§3.1).
+//
+// The paper characterizes applications by a slack / linear / knee curve
+// (Fig. 2) and measures three real applications under uniform all-resource
+// deflation (Fig. 3). The cluster policies deliberately assume the
+// worst-case *linear* relation (§5); the curve profiles here feed the
+// mechanism-level benchmarks and examples.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace deflate::core {
+
+/// Piecewise-linear normalized-performance curve over deflation in [0, 1].
+/// performance(0) = 1 means undeflated throughput.
+class PerfCurve {
+ public:
+  /// Points must be sorted by deflation fraction; the curve interpolates
+  /// linearly and clamps outside the range.
+  static PerfCurve from_points(std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] double performance(double deflation) const noexcept;
+  /// 1/performance, saturated so response times stay finite near total
+  /// deflation (used when translating throughput loss into latency).
+  [[nodiscard]] double response_time_multiplier(double deflation) const noexcept;
+  /// Largest deflation whose performance stays >= (1 - tolerance): the
+  /// usable slack of the application.
+  [[nodiscard]] double slack(double tolerance = 0.01) const noexcept;
+
+  // --- profiles matching Fig. 3 ---------------------------------------------
+  /// JVM business benchmark: no slack, linear decline, knee near 60%.
+  static PerfCurve specjbb();
+  /// Kernel compile: small slack, gradual decline.
+  static PerfCurve kcompile();
+  /// Memcached: large slack (~50%), resilient until high deflation.
+  static PerfCurve memcached();
+
+  /// Fig. 2's abstract three-region model: flat until `slack_end`, linear
+  /// to (knee, knee_perf), then a precipitous drop to ~0 at full deflation.
+  static PerfCurve abstract_model(double slack_end, double knee, double knee_perf);
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Memory-deflation response-time model behind Fig. 14 (SpecJBB 2015).
+///
+/// Transparent deflation below the guest's resident set forces swapping;
+/// the RT multiplier grows with swap pressure. Hybrid deflation first lets
+/// the guest *unplug* unused memory (returning cache/GC pages), which the
+/// paper measured as a ~10% response-time improvement.
+struct MemoryPerfModel {
+  double swap_penalty_linear = 10.0;
+  double swap_penalty_quadratic = 40.0;
+  double hotplug_gain = 0.10;  ///< guest-assisted improvement when unplugged
+  /// Ballooned pages keep loading the guest's memory management (page
+  /// scanning around pinned regions, lost cache flexibility): a per-unit
+  /// cost that makes ballooning "generally inferior to hotplug" [29].
+  double balloon_overhead = 0.08;
+
+  /// `swap_pressure` in [0,1]; `guest_assisted` when explicit unplug freed
+  /// guest memory (hybrid path).
+  [[nodiscard]] double rt_multiplier(double swap_pressure,
+                                     bool guest_assisted) const noexcept;
+
+  /// Ballooning path: same swap penalty, no hotplug gain, plus the balloon
+  /// management overhead proportional to the pinned fraction of the VM.
+  [[nodiscard]] double rt_multiplier_balloon(double swap_pressure,
+                                             double balloon_fraction)
+      const noexcept;
+};
+
+}  // namespace deflate::core

@@ -1,0 +1,112 @@
+// Server-level deflation policies (§5.1).
+//
+// A policy answers: given the deflatable VMs on one server and an amount R
+// of one resource to reclaim (R < 0 reinflates, §5.1.3 "Reinflation"),
+// what should each VM's new allocation be?
+//
+//   * Proportional (Eq. 1, and Eq. 2 with minimum allocations): retained
+//     allocation above the minimum is proportional to (M_i - m_i).
+//   * Priority-weighted (Eq. 3, and Eq. 4 with priority-derived minimums
+//     m_i = pi_i * M_i): retained allocation is additionally weighted by
+//     pi_i, so low-priority VMs deflate further.
+//   * Deterministic (§5.1.3): binary — VMs are deflated to exactly
+//     pi_i * M_i in increasing priority order until R is covered.
+//
+// Policies are resource-scalar: the controller invokes them once per
+// resource dimension (the paper deflates each resource individually).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deflate::core {
+
+/// One deflatable VM's view for a single resource dimension.
+struct VmShare {
+  std::uint64_t id = 0;
+  double max_alloc = 0.0;  ///< M_i: undeflated (spec) allocation
+  double min_alloc = 0.0;  ///< m_i: hard floor from the VM spec/survival
+  double priority = 0.5;   ///< pi_i in (0, 1]
+  double current = 0.0;    ///< current effective allocation
+};
+
+struct PolicyResult {
+  std::vector<double> targets;  ///< new allocation per VM, input order
+  double reclaimed = 0.0;       ///< sum(current - target); negative when inflating
+  /// For R > 0: whether the full amount could be reclaimed. Reclamation
+  /// failure is the Fig. 20 metric. Always true for R <= 0.
+  bool success = false;
+};
+
+class DeflationPolicy {
+ public:
+  virtual ~DeflationPolicy() = default;
+
+  /// R > 0 reclaims R units across `vms`; R < 0 hands back |R| units.
+  /// Targets never move outside [m_i, M_i], never *increase* during a
+  /// reclaim, and never *decrease* during reinflation.
+  [[nodiscard]] virtual PolicyResult reclaim(std::span<const VmShare> vms,
+                                             double amount) const = 0;
+
+  /// The smallest allocation this policy will ever leave the VM with —
+  /// m_i for the proportional family, max(m_i, pi_i*M_i) when the policy
+  /// enforces priority-derived minimums. The cluster layer uses
+  /// sum(current - min_retained) as the server's reclaimable headroom for
+  /// O(1) feasibility checks during placement.
+  [[nodiscard]] virtual double min_retained(const VmShare& vm) const {
+    return std::min(vm.min_alloc, vm.max_alloc);
+  }
+
+  /// Total amount reclaimable from `vms` under this policy.
+  [[nodiscard]] double reclaimable(std::span<const VmShare> vms) const;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Eq. 1 / Eq. 2. Weight = (M_i - m_i); with all m_i = 0 this is exactly
+/// x_i = M_i - alpha1*M_i of Eq. 1.
+class ProportionalPolicy final : public DeflationPolicy {
+ public:
+  [[nodiscard]] PolicyResult reclaim(std::span<const VmShare> vms,
+                                     double amount) const override;
+  [[nodiscard]] std::string name() const override { return "proportional"; }
+};
+
+/// Eq. 3 / Eq. 4. With `priority_minimums`, m_i is raised to pi_i * M_i
+/// (Eq. 4); otherwise only the caller-provided floor applies (Eq. 3).
+class PriorityWeightedPolicy final : public DeflationPolicy {
+ public:
+  explicit PriorityWeightedPolicy(bool priority_minimums = true) noexcept
+      : priority_minimums_(priority_minimums) {}
+
+  [[nodiscard]] PolicyResult reclaim(std::span<const VmShare> vms,
+                                     double amount) const override;
+  [[nodiscard]] double min_retained(const VmShare& vm) const override;
+  [[nodiscard]] std::string name() const override {
+    return priority_minimums_ ? "priority(min=pi*M)" : "priority";
+  }
+
+ private:
+  bool priority_minimums_;
+};
+
+/// §5.1.3: binary deflation to pi_i * M_i, lowest priority first;
+/// reinflation restores the highest priority first.
+class DeterministicPolicy final : public DeflationPolicy {
+ public:
+  [[nodiscard]] PolicyResult reclaim(std::span<const VmShare> vms,
+                                     double amount) const override;
+  [[nodiscard]] double min_retained(const VmShare& vm) const override;
+  [[nodiscard]] std::string name() const override { return "deterministic"; }
+};
+
+enum class PolicyKind { Proportional, Priority, PriorityNoMin, Deterministic };
+
+[[nodiscard]] std::unique_ptr<DeflationPolicy> make_policy(PolicyKind kind);
+[[nodiscard]] const char* policy_kind_name(PolicyKind kind) noexcept;
+
+}  // namespace deflate::core

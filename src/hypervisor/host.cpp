@@ -1,0 +1,88 @@
+#include "hypervisor/host.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deflate::hv {
+
+Host::Host(std::uint64_t id, res::ResourceVector capacity)
+    : id_(id), capacity_(capacity) {}
+
+Vm& Host::add_vm(VmSpec spec) {
+  const std::uint64_t vm_id = spec.id;
+  auto [it, inserted] = vms_.emplace(vm_id, std::make_unique<Vm>(std::move(spec)));
+  if (!inserted) {
+    throw std::invalid_argument("Host::add_vm: duplicate VM id");
+  }
+  order_.push_back(vm_id);
+  return *it->second;
+}
+
+bool Host::remove_vm(std::uint64_t vm_id) {
+  const auto it = vms_.find(vm_id);
+  if (it == vms_.end()) return false;
+  vms_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), vm_id), order_.end());
+  return true;
+}
+
+Vm* Host::find_vm(std::uint64_t vm_id) noexcept {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? nullptr : it->second.get();
+}
+
+const Vm* Host::find_vm(std::uint64_t vm_id) const noexcept {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Vm*> Host::vms() noexcept {
+  std::vector<Vm*> out;
+  out.reserve(order_.size());
+  for (const auto id : order_) out.push_back(vms_.at(id).get());
+  return out;
+}
+
+std::vector<const Vm*> Host::vms() const noexcept {
+  std::vector<const Vm*> out;
+  out.reserve(order_.size());
+  for (const auto id : order_) out.push_back(vms_.at(id).get());
+  return out;
+}
+
+res::ResourceVector Host::committed() const noexcept {
+  res::ResourceVector total;
+  for (const auto id : order_) total += vms_.at(id)->spec().vector();
+  return total;
+}
+
+res::ResourceVector Host::allocated() const noexcept {
+  res::ResourceVector total;
+  for (const auto id : order_) total += vms_.at(id)->effective_allocation();
+  return total;
+}
+
+res::ResourceVector Host::available() const noexcept {
+  return (capacity_ - allocated()).clamped_nonneg();
+}
+
+res::ResourceVector Host::deflatable_headroom() const noexcept {
+  res::ResourceVector total;
+  for (const auto id : order_) {
+    const Vm& vm = *vms_.at(id);
+    if (!vm.spec().deflatable) continue;
+    total += (vm.effective_allocation() - vm.allocation_floor()).clamped_nonneg();
+  }
+  return total;
+}
+
+double Host::overcommit_ratio() const noexcept {
+  const res::ResourceVector c = committed();
+  double worst = 0.0;
+  for (const res::Resource r : {res::Resource::Cpu, res::Resource::Memory}) {
+    if (capacity_[r] > 0.0) worst = std::max(worst, c[r] / capacity_[r]);
+  }
+  return worst;
+}
+
+}  // namespace deflate::hv

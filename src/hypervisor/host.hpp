@@ -1,0 +1,57 @@
+// A physical server hosting VMs. Tracks committed (sum of specs) vs
+// allocated (sum of effective allocations) resources; the gap between the
+// two is what deflation trades in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hypervisor/vm.hpp"
+#include "resources/resource_vector.hpp"
+
+namespace deflate::hv {
+
+class Host {
+ public:
+  Host(std::uint64_t id, res::ResourceVector capacity);
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const res::ResourceVector& capacity() const noexcept {
+    return capacity_;
+  }
+
+  /// Adds a VM; returns a stable reference (Host owns the VM).
+  Vm& add_vm(VmSpec spec);
+  /// Removes and destroys the VM. Returns false if not resident.
+  bool remove_vm(std::uint64_t vm_id);
+  [[nodiscard]] Vm* find_vm(std::uint64_t vm_id) noexcept;
+  [[nodiscard]] const Vm* find_vm(std::uint64_t vm_id) const noexcept;
+
+  /// Resident VMs in arrival order (deterministic iteration for policies).
+  [[nodiscard]] std::vector<Vm*> vms() noexcept;
+  [[nodiscard]] std::vector<const Vm*> vms() const noexcept;
+  [[nodiscard]] std::size_t vm_count() const noexcept { return order_.size(); }
+
+  /// Sum of VM spec sizes (what customers were promised).
+  [[nodiscard]] res::ResourceVector committed() const noexcept;
+  /// Sum of effective allocations (what is physically handed out).
+  [[nodiscard]] res::ResourceVector allocated() const noexcept;
+  /// capacity - allocated, clamped at zero.
+  [[nodiscard]] res::ResourceVector available() const noexcept;
+  /// Total resources reclaimable by deflating every deflatable VM to its
+  /// floor (the paper's `deflatable_j` term, §5.2).
+  [[nodiscard]] res::ResourceVector deflatable_headroom() const noexcept;
+  /// committed/capacity maximized over CPU and memory; 1.0 = fully
+  /// committed, >1 = overcommitted (the paper's `overcommitted_j`).
+  [[nodiscard]] double overcommit_ratio() const noexcept;
+
+ private:
+  std::uint64_t id_;
+  res::ResourceVector capacity_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Vm>> vms_;
+  std::vector<std::uint64_t> order_;
+};
+
+}  // namespace deflate::hv

@@ -1,0 +1,81 @@
+// libvirt-style facade over SimHypervisor.
+//
+// The paper's prototype drives KVM "using the libvirt API for running VMs
+// and for dynamic resource allocation required for deflation" (§6). This
+// facade mirrors that control surface — domain lookup, scheduler/blkio/
+// interface parameters for the cgroup path, and agent-mediated set-vcpus /
+// set-memory for the hotplug path — so the deflation mechanisms read like
+// the real controller code would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hypervisor/hypervisor.hpp"
+
+namespace deflate::virt {
+
+struct DomainInfo {
+  int max_vcpus = 0;          ///< spec vCPUs
+  int online_vcpus = 0;       ///< currently plugged
+  double cpu_quota_cores = 0; ///< cgroup cpu.cfs quota (cores)
+  double max_memory_mib = 0;  ///< spec memory
+  double memory_mib = 0;      ///< currently plugged
+  double memory_limit_mib = 0;///< cgroup mem.limit_in_bytes (MiB)
+  double disk_bw_mbps = 0;
+  double net_bw_mbps = 0;
+};
+
+/// Non-owning handle to a running VM ("domain" in libvirt terms).
+class Domain {
+ public:
+  Domain(hv::SimHypervisor& hypervisor, hv::Vm& vm) noexcept
+      : hypervisor_(&hypervisor), vm_(&vm) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return vm_->spec().id; }
+  [[nodiscard]] const std::string& name() const noexcept { return vm_->spec().name; }
+  [[nodiscard]] DomainInfo info() const;
+
+  // cgroup-backed controls (virDomainSetSchedulerParameters etc.).
+  void set_scheduler_cpu_quota(double cores);
+  void set_memory_hard_limit(double mib);
+  void set_blkio_bandwidth(double mbps);
+  void set_interface_bandwidth(double mbps);
+
+  // Agent-mediated hotplug (virDomainSetVcpus / virDomainSetMemory with the
+  // guest agent; may return unfinished).
+  hv::HotplugResult agent_set_vcpus(int vcpus);
+  hv::HotplugResult agent_set_memory(double mib);
+
+  /// virtio-balloon: requests the guest's *usable* memory be `mib`
+  /// (virDomainSetMemory without the agent). Page-granular; may squeeze
+  /// into the resident set. Returns the achieved usable size.
+  hv::HotplugResult balloon_set_memory(double mib);
+
+  /// Direct access for models that need guest statistics (RSS, load).
+  [[nodiscard]] hv::Vm& vm() noexcept { return *vm_; }
+  [[nodiscard]] const hv::Vm& vm() const noexcept { return *vm_; }
+
+ private:
+  hv::SimHypervisor* hypervisor_;
+  hv::Vm* vm_;
+};
+
+/// Connection to one server's hypervisor (virConnectOpen("qemu:///system")).
+class Connection {
+ public:
+  explicit Connection(hv::SimHypervisor& hypervisor) noexcept
+      : hypervisor_(&hypervisor) {}
+
+  /// Boots a VM and returns its domain handle.
+  Domain define_and_start(const hv::VmSpec& spec);
+  /// Throws std::out_of_range if no such domain.
+  Domain lookup_by_id(std::uint64_t vm_id);
+  [[nodiscard]] bool destroy(std::uint64_t vm_id);
+  [[nodiscard]] hv::SimHypervisor& hypervisor() noexcept { return *hypervisor_; }
+
+ private:
+  hv::SimHypervisor* hypervisor_;
+};
+
+}  // namespace deflate::virt

@@ -1,0 +1,32 @@
+#include <cmath>
+
+#include "mechanisms/mechanism.hpp"
+
+namespace deflate::mech {
+
+MechanismReport ExplicitDeflation::apply(virt::Domain& domain,
+                                         const res::ResourceVector& target) {
+  const res::ResourceVector goal = clamp_target(domain, target);
+  const auto& spec = domain.vm().spec();
+
+  // Hotplug is coarse: round the CPU target up to whole vCPUs and let the
+  // guest apply its own safety floor. Lift any cgroup caps so the plugged
+  // amount *is* the effective allocation (this mechanism is hotplug-only).
+  const int cpu_request =
+      static_cast<int>(std::ceil(goal[res::Resource::Cpu]));
+  domain.agent_set_vcpus(cpu_request);
+  domain.set_scheduler_cpu_quota(static_cast<double>(spec.vcpus));
+
+  domain.balloon_set_memory(spec.memory_mib);  // hotplug path: no balloon
+  domain.agent_set_memory(goal[res::Resource::Memory]);
+  domain.set_memory_hard_limit(spec.memory_mib);
+
+  // NIC/disk unplug is unsafe (§4.3); a pure explicit mechanism leaves I/O
+  // at the spec allocation.
+  domain.set_blkio_bandwidth(spec.disk_bw_mbps);
+  domain.set_interface_bandwidth(spec.net_bw_mbps);
+
+  return finish(domain, goal);
+}
+
+}  // namespace deflate::mech

@@ -1,0 +1,29 @@
+#include "mechanisms/mechanism.hpp"
+
+namespace deflate::mech {
+
+MechanismReport TransparentDeflation::apply(virt::Domain& domain,
+                                            const res::ResourceVector& target) {
+  const res::ResourceVector goal = clamp_target(domain, target);
+
+  // Pure multiplexing: adjust cgroup quotas/limits; the guest keeps seeing
+  // its full plugged resources and simply runs slower (§4.2). When the VM
+  // was previously hot-unplugged, re-plug first so the cgroup limit is the
+  // only constraint (the mechanisms compose — hybrid relies on this).
+  const auto info = domain.info();
+  if (info.online_vcpus < info.max_vcpus) {
+    domain.agent_set_vcpus(info.max_vcpus);
+  }
+  if (info.memory_mib < info.max_memory_mib) {
+    domain.agent_set_memory(info.max_memory_mib);
+  }
+  domain.balloon_set_memory(info.max_memory_mib);  // deflate any balloon
+
+  domain.set_scheduler_cpu_quota(goal[res::Resource::Cpu]);
+  domain.set_memory_hard_limit(goal[res::Resource::Memory]);
+  domain.set_blkio_bandwidth(goal[res::Resource::DiskBw]);
+  domain.set_interface_bandwidth(goal[res::Resource::NetBw]);
+  return finish(domain, goal);
+}
+
+}  // namespace deflate::mech

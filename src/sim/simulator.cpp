@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace deflate::sim {
+
+EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Scheduled{at, next_seq_++, std::move(fn), alive});
+  return EventHandle(std::move(alive));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    if (!*queue_.top().alive) {  // lazily drop cancelled events
+      queue_.pop();
+      continue;
+    }
+    // priority_queue::top is const; the closure must be moved out before
+    // pop, so we cast — the element is removed immediately afterwards.
+    auto& top = const_cast<Scheduled&>(queue_.top());
+    now_ = top.at;
+    Callback fn = std::move(top.fn);
+    queue_.pop();
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (!*queue_.top().alive) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > until) break;
+    if (step()) ++ran;
+  }
+  if (now_ < until && until < SimTime::max()) now_ = until;
+  return ran;
+}
+
+}  // namespace deflate::sim

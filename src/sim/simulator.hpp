@@ -1,0 +1,86 @@
+// Discrete-event simulation kernel.
+//
+// Events are closures scheduled at absolute or relative SimTimes; ties break
+// by schedule order (a strict FIFO among equal timestamps), which keeps
+// trace-driven runs deterministic. Cancellation is O(1) via shared handles
+// with lazy removal from the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace deflate::sim {
+
+/// Cancellation handle returned by Simulator::schedule.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired; safe to call repeatedly.
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.size(); }
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, Callback fn);
+
+  /// Schedules `fn` after `delay` relative to now().
+  EventHandle schedule_in(SimTime delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `until` is reached. The clock
+  /// ends at min(until, last event time). Returns number of events run.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs until the queue drains.
+  std::uint64_t run() { return run_until(SimTime::max()); }
+
+  /// Executes the single next event, if any; returns whether one ran.
+  bool step();
+
+  /// Requests run loops to return after the current event.
+  void stop() noexcept { stop_requested_ = true; }
+
+ private:
+  struct Scheduled {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace deflate::sim

@@ -1,0 +1,62 @@
+// Simulation time as integer microseconds. Integer ticks keep event
+// ordering exact (no floating-point drift when thousands of 5-minute trace
+// intervals are accumulated) and make runs reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace deflate::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime from_micros(std::int64_t us) noexcept {
+    SimTime t;
+    t.micros_ = us;
+    return t;
+  }
+  [[nodiscard]] static constexpr SimTime from_millis(double ms) noexcept {
+    return from_micros(static_cast<std::int64_t>(ms * 1e3));
+  }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) noexcept {
+    return from_micros(static_cast<std::int64_t>(s * 1e6));
+  }
+  [[nodiscard]] static constexpr SimTime from_minutes(double m) noexcept {
+    return from_seconds(m * 60.0);
+  }
+  [[nodiscard]] static constexpr SimTime from_hours(double h) noexcept {
+    return from_seconds(h * 3600.0);
+  }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return from_micros(INT64_MAX);
+  }
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return micros_; }
+  [[nodiscard]] constexpr double millis() const noexcept {
+    return static_cast<double>(micros_) / 1e3;
+  }
+  [[nodiscard]] constexpr double seconds() const noexcept {
+    return static_cast<double>(micros_) / 1e6;
+  }
+  [[nodiscard]] constexpr double hours() const noexcept { return seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime operator+(SimTime rhs) const noexcept {
+    return from_micros(micros_ + rhs.micros_);
+  }
+  constexpr SimTime operator-(SimTime rhs) const noexcept {
+    return from_micros(micros_ - rhs.micros_);
+  }
+  constexpr SimTime& operator+=(SimTime rhs) noexcept {
+    micros_ += rhs.micros_;
+    return *this;
+  }
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+}  // namespace deflate::sim

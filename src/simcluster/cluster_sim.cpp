@@ -1,0 +1,289 @@
+#include "simcluster/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deflate::simcluster {
+
+namespace {
+
+cluster::ClusterConfig make_cluster_config(const SimConfig& config) {
+  cluster::ClusterConfig out;
+  out.server_count = config.server_count;
+  out.server_capacity = config.server_capacity;
+  out.policy = config.policy;
+  out.mode = config.mode;
+  out.mechanism = config.mechanism;
+  out.placement = config.placement;
+  out.reinflate_on_departure = config.reinflate_on_departure;
+  out.partitioned = config.partitioned;
+  return out;
+}
+
+}  // namespace
+
+TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
+                                           SimConfig config)
+    : records_(std::move(records)),
+      config_(config),
+      manager_(make_cluster_config(config)),
+      runtimes_(records_.size()) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    runtimes_[i].record = &records_[i];
+    id_to_idx_[records_[i].id] = i;
+  }
+
+  // Track allocation changes (deflation *and* reinflation) per VM.
+  manager_.subscribe_deflation([this](const hv::Vm& vm,
+                                      const res::ResourceVector& /*old_alloc*/,
+                                      const res::ResourceVector& new_alloc) {
+    const auto it = id_to_idx_.find(vm.spec().id);
+    if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
+    const double spec_cores = static_cast<double>(vm.spec().vcpus);
+    const double fraction =
+        spec_cores > 0.0 ? new_alloc[res::Resource::Cpu] / spec_cores : 1.0;
+    runtimes_[it->second].alloc_timeline.emplace_back(now_, fraction);
+  });
+
+  manager_.subscribe_preemption([this](const hv::VmSpec& spec) {
+    const auto it = id_to_idx_.find(spec.id);
+    if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
+    runtimes_[it->second].preempted = true;
+    finalize(runtimes_[it->second], now_);
+  });
+}
+
+void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
+  VmRuntime& vm = runtimes_[idx];
+  const hv::VmSpec spec = vm.record->to_spec();
+  const cluster::PlacementResult placement = manager_.place_vm(spec);
+  if (!placement.ok()) {
+    vm.rejected = true;
+    return;
+  }
+  vm.running = true;
+  vm.placed_at = now_;
+  vm.alloc_timeline.clear();
+  vm.alloc_timeline.emplace_back(now_, placement.launch_fraction);
+}
+
+void TraceDrivenSimulator::finalize(VmRuntime& vm, sim::SimTime at) {
+  vm.running = false;
+  vm.finished_at = at;
+  const trace::VmRecord& record = *vm.record;
+  const double cores = static_cast<double>(record.vcpus);
+  const double hours = (at - vm.placed_at).hours();
+  if (hours <= 0.0) return;
+
+  if (!record.deflatable()) {
+    revenue_.od_committed_core_hours += cores * hours;
+    return;
+  }
+
+  // --- revenue integrals ---
+  revenue_.df_committed_core_hours += cores * hours;
+  revenue_.df_priority_committed_core_hours +=
+      record.priority_level() * cores * hours;
+  double allocated_core_hours = 0.0;
+  for (std::size_t k = 0; k < vm.alloc_timeline.size(); ++k) {
+    const sim::SimTime seg_start = vm.alloc_timeline[k].first;
+    const sim::SimTime seg_end =
+        k + 1 < vm.alloc_timeline.size() ? vm.alloc_timeline[k + 1].first : at;
+    const double seg_hours = (seg_end - seg_start).hours();
+    if (seg_hours <= 0.0) continue;
+    allocated_core_hours += vm.alloc_timeline[k].second * cores * seg_hours;
+    deflation_fraction_time_ +=
+        (1.0 - vm.alloc_timeline[k].second) * seg_hours;
+  }
+  revenue_.df_allocated_core_hours += allocated_core_hours;
+  deflatable_time_ += hours;
+
+  // --- throughput loss (Fig. 4 / Fig. 21) ---
+  // Align the allocation step-function with the VM's 5-minute usage series.
+  const auto& samples = record.cpu.samples();
+  const std::int64_t interval_us = record.cpu.interval().micros();
+  const auto ran_intervals = static_cast<std::size_t>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(samples.size()),
+      (at - vm.placed_at).micros() / std::max<std::int64_t>(1, interval_us)));
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < ran_intervals; ++i) {
+    const sim::SimTime t =
+        vm.placed_at + sim::SimTime::from_micros(
+                           static_cast<std::int64_t>(i) * interval_us);
+    while (seg + 1 < vm.alloc_timeline.size() &&
+           vm.alloc_timeline[seg + 1].first <= t) {
+      ++seg;
+    }
+    const double alloc = vm.alloc_timeline[seg].second;
+    const double usage = samples[i];
+    used_ += usage;
+    lost_ += std::max(0.0, usage - alloc);
+  }
+}
+
+void TraceDrivenSimulator::on_vm_end(std::size_t idx) {
+  VmRuntime& vm = runtimes_[idx];
+  if (!vm.running) return;  // rejected or already preempted
+  finalize(vm, now_);
+  manager_.remove_vm(vm.record->id);
+}
+
+SimMetrics TraceDrivenSimulator::run() {
+  if (ran_) {
+    throw std::logic_error("TraceDrivenSimulator::run is single-shot");
+  }
+  ran_ = true;
+
+  // Event order: departures before arrivals at equal timestamps (frees
+  // capacity first), then by VM id for determinism.
+  struct Event {
+    sim::SimTime at;
+    bool is_start;
+    std::size_t idx;
+  };
+  std::vector<Event> events;
+  events.reserve(records_.size() * 2);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    events.push_back({records_[i].start, true, i});
+    events.push_back({records_[i].end, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.is_start != b.is_start) return !a.is_start;  // ends first
+    return a.idx < b.idx;
+  });
+
+  for (const Event& event : events) {
+    now_ = event.at;
+    if (event.is_start) {
+      on_vm_start(event.idx);
+    } else {
+      on_vm_end(event.idx);
+    }
+  }
+
+  SimMetrics metrics;
+  const cluster::ClusterStats& stats = manager_.stats();
+  metrics.reclamation_attempts = stats.reclamation_attempts;
+  metrics.reclamation_failures = stats.reclamation_failures;
+  metrics.preemptions = stats.preemptions;
+  metrics.rejections = stats.rejections;
+  metrics.failure_rate_per_attempt =
+      stats.reclamation_attempts > 0
+          ? static_cast<double>(stats.reclamation_failures) /
+                static_cast<double>(stats.reclamation_attempts)
+          : 0.0;
+
+  metrics.vm_count = records_.size();
+  for (const trace::VmRecord& record : records_) {
+    if (record.deflatable()) ++metrics.deflatable_count;
+  }
+  metrics.failure_probability =
+      metrics.deflatable_count > 0
+          ? static_cast<double>(stats.reclamation_failures) /
+                static_cast<double>(metrics.deflatable_count)
+          : 0.0;
+  metrics.preemption_probability =
+      metrics.deflatable_count > 0
+          ? static_cast<double>(stats.preemptions) /
+                static_cast<double>(metrics.deflatable_count)
+          : 0.0;
+
+  metrics.throughput_loss = used_ > 0.0 ? lost_ / used_ : 0.0;
+  metrics.revenue = revenue_;
+  metrics.mean_cpu_deflation =
+      deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;
+
+  const res::ResourceVector peak = peak_committed(records_);
+  const res::ResourceVector capacity = manager_.total_capacity();
+  double oc = 0.0;
+  for (const res::Resource r : {res::Resource::Cpu, res::Resource::Memory}) {
+    if (capacity[r] > 0.0) oc = std::max(oc, peak[r] / capacity[r] - 1.0);
+  }
+  metrics.achieved_overcommit = oc;
+  return metrics;
+}
+
+res::ResourceVector TraceDrivenSimulator::peak_committed(
+    const std::vector<trace::VmRecord>& records) {
+  struct Change {
+    sim::SimTime at;
+    bool add;
+    res::ResourceVector amount;
+  };
+  std::vector<Change> changes;
+  changes.reserve(records.size() * 2);
+  for (const trace::VmRecord& record : records) {
+    const res::ResourceVector v = record.to_spec().vector();
+    changes.push_back({record.start, true, v});
+    changes.push_back({record.end, false, v});
+  }
+  std::sort(changes.begin(), changes.end(), [](const Change& a, const Change& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return !a.add && b.add;  // removals first
+  });
+  res::ResourceVector current, peak;
+  for (const Change& change : changes) {
+    if (change.add) {
+      current += change.amount;
+    } else {
+      current -= change.amount;
+    }
+    peak = peak.elementwise_max(current);
+  }
+  return peak;
+}
+
+std::size_t TraceDrivenSimulator::servers_for_overcommit(
+    const std::vector<trace::VmRecord>& records,
+    const res::ResourceVector& server_capacity, double overcommit) {
+  const res::ResourceVector peak = peak_committed(records);
+  double servers = 1.0;
+  for (const res::Resource r : {res::Resource::Cpu, res::Resource::Memory}) {
+    if (server_capacity[r] > 0.0) {
+      servers = std::max(servers,
+                         peak[r] / (server_capacity[r] * (1.0 + overcommit)));
+    }
+  }
+  return static_cast<std::size_t>(std::ceil(servers));
+}
+
+std::size_t TraceDrivenSimulator::minimum_feasible_servers(
+    const std::vector<trace::VmRecord>& records, const SimConfig& base_config) {
+  std::size_t servers =
+      servers_for_overcommit(records, base_config.server_capacity, 0.0);
+  const std::size_t limit = servers * 2 + 8;  // fragmentation bound
+  for (; servers < limit; ++servers) {
+    SimConfig config = base_config;
+    config.server_count = servers;
+    TraceDrivenSimulator simulator(records, config);
+    const SimMetrics metrics = simulator.run();
+    if (metrics.reclamation_failures == 0 && metrics.rejections == 0 &&
+        metrics.preemptions == 0) {
+      return servers;
+    }
+  }
+  return limit;
+}
+
+std::vector<trace::VmRecord> TraceDrivenSimulator::select_deflatable_subset(
+    const std::vector<trace::VmRecord>& records, double core_hours) {
+  std::vector<trace::VmRecord> out;
+  double budget = core_hours;
+  for (const trace::VmRecord& record : records) {
+    if (!record.deflatable()) {
+      out.push_back(record);
+      continue;
+    }
+    const double cost =
+        static_cast<double>(record.vcpus) * record.lifetime().hours();
+    if (cost <= budget) {
+      budget -= cost;
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+}  // namespace deflate::simcluster

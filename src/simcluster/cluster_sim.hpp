@@ -1,0 +1,133 @@
+// Trace-driven cluster simulation (§7.1.2, §7.4).
+//
+// Replays Azure-style VM arrivals/departures against a ClusterManager:
+// interactive VMs are deflatable (with P95-derived priorities), the rest
+// are on-demand. Deflation/reinflation happen on arrival pressure and
+// departure slack, exactly as in the paper's evaluation. The simulator
+// produces the three cluster-level metrics of Figs. 20-22:
+//   * reclamation-failure probability (or preemption probability for the
+//     preemption baseline),
+//   * throughput loss — the time-integrated utilization above the deflated
+//     allocation (Fig. 4's shaded area) over all deflatable VMs,
+//   * revenue integrals for the §5.2.2 pricing schemes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_manager.hpp"
+#include "cluster/pricing.hpp"
+#include "trace/vm_record.hpp"
+
+namespace deflate::simcluster {
+
+struct SimConfig {
+  core::PolicyKind policy = core::PolicyKind::Proportional;
+  cluster::ReclamationMode mode = cluster::ReclamationMode::Deflation;
+  mech::MechanismKind mechanism = mech::MechanismKind::Hybrid;
+  cluster::PlacementStrategy placement = cluster::PlacementStrategy::Fitness;
+  bool reinflate_on_departure = true;
+  bool partitioned = false;
+  std::size_t server_count = 40;
+  res::ResourceVector server_capacity{48.0, 128.0 * 1024.0, 1e9, 1e9};
+};
+
+struct SimMetrics {
+  // --- Fig. 20 ---
+  std::uint64_t reclamation_attempts = 0;
+  std::uint64_t reclamation_failures = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t rejections = 0;
+  /// Reclamation failures per deflatable VM — directly comparable to the
+  /// preemption probability ("for traditional preemptible instances, it is
+  /// the same as preemption probability", §7.4.1).
+  double failure_probability = 0.0;
+  /// failures / reclamation attempts (conditional failure rate).
+  double failure_rate_per_attempt = 0.0;
+  /// preempted deflatable VMs / all deflatable VMs (preemption mode).
+  double preemption_probability = 0.0;
+
+  // --- Fig. 21 ---
+  /// sum over deflatable VMs of usage above allocation, / total usage.
+  double throughput_loss = 0.0;
+
+  // --- Fig. 22 ---
+  cluster::RevenueTotals revenue;
+
+  // --- context ---
+  double achieved_overcommit = 0.0;  ///< peak committed / capacity - 1
+  double mean_cpu_deflation = 0.0;   ///< time-weighted over deflatable VMs
+  std::uint64_t vm_count = 0;
+  std::uint64_t deflatable_count = 0;
+};
+
+class TraceDrivenSimulator {
+ public:
+  TraceDrivenSimulator(std::vector<trace::VmRecord> records, SimConfig config);
+
+  /// Replays the whole trace; single-shot (construct a new simulator for
+  /// another run).
+  SimMetrics run();
+
+  // --- sizing helpers --------------------------------------------------------
+  /// Peak concurrently-committed resources of the trace (the paper sizes
+  /// the baseline cluster so this peak fits without any reclamation).
+  [[nodiscard]] static res::ResourceVector peak_committed(
+      const std::vector<trace::VmRecord>& records);
+
+  /// Number of servers that sets cluster overcommitment to `overcommit`
+  /// (0.5 = 50%): capacity = peak / (1 + overcommit), per the paper's
+  /// protocol of shrinking the minimum-feasible cluster.
+  [[nodiscard]] static std::size_t servers_for_overcommit(
+      const std::vector<trace::VmRecord>& records,
+      const res::ResourceVector& server_capacity, double overcommit);
+
+  /// The paper's baseline sizing (§7.1.2): "the minimum cluster size
+  /// capable of running all VMs without any preemptions or
+  /// admission-controlled rejections" — found by simulation, starting from
+  /// the peak-committed lower bound and growing until a full replay shows
+  /// zero failures (bin-packing fragmentation can make the lower bound
+  /// infeasible).
+  [[nodiscard]] static std::size_t minimum_feasible_servers(
+      const std::vector<trace::VmRecord>& records, const SimConfig& base_config);
+
+  /// Prefix of the deflatable records whose total committed core-time is at
+  /// most `core_hours` (arrival order). Used by the revenue experiment to
+  /// scale the admitted low-priority pool with the overcommitment target.
+  [[nodiscard]] static std::vector<trace::VmRecord> select_deflatable_subset(
+      const std::vector<trace::VmRecord>& records, double core_hours);
+
+ private:
+  struct VmRuntime {
+    const trace::VmRecord* record = nullptr;
+    bool running = false;
+    bool preempted = false;
+    bool rejected = false;
+    sim::SimTime placed_at;
+    sim::SimTime finished_at;
+    /// (time, cpu allocation fraction) change-points while running.
+    std::vector<std::pair<sim::SimTime, double>> alloc_timeline;
+  };
+
+  void on_vm_start(std::size_t idx);
+  void on_vm_end(std::size_t idx);
+  void finalize(VmRuntime& vm, sim::SimTime at);
+
+  std::vector<trace::VmRecord> records_;
+  SimConfig config_;
+  cluster::ClusterManager manager_;
+  std::vector<VmRuntime> runtimes_;
+  std::unordered_map<std::uint64_t, std::size_t> id_to_idx_;
+  sim::SimTime now_;
+
+  // accumulators
+  double lost_ = 0.0;
+  double used_ = 0.0;
+  double deflation_fraction_time_ = 0.0;  ///< integral of (1 - alloc frac) dt
+  double deflatable_time_ = 0.0;          ///< total deflatable running time
+  cluster::RevenueTotals revenue_;
+  bool ran_ = false;
+};
+
+}  // namespace deflate::simcluster

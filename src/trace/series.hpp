@@ -1,0 +1,62 @@
+// Resource-utilization time series: per-interval maximum usage expressed as
+// a fraction of the VM/container's allocated (spec) size, sampled at the
+// Azure trace's 5-minute granularity (§3.2.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace deflate::trace {
+
+inline constexpr auto kTraceInterval = sim::SimTime::from_minutes(5);
+
+class UtilizationSeries {
+ public:
+  UtilizationSeries() = default;
+  explicit UtilizationSeries(std::vector<float> samples,
+                             sim::SimTime interval = kTraceInterval)
+      : samples_(std::move(samples)), interval_(interval) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] sim::SimTime interval() const noexcept { return interval_; }
+  [[nodiscard]] const std::vector<float>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] float at(std::size_t i) const { return samples_.at(i); }
+
+  /// Utilization fraction at absolute offset `t` from the series start
+  /// (piecewise constant per interval; clamps to the last sample).
+  [[nodiscard]] float at_time(sim::SimTime t) const;
+
+  void push(float sample) { samples_.push_back(sample); }
+
+  /// Fraction of intervals with usage strictly above `threshold` — the
+  /// paper's "fraction of time spent above the deflated allocation".
+  [[nodiscard]] double fraction_above(double threshold) const noexcept;
+
+  /// q-quantile of the samples (q in [0,1]); 0 for an empty series.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double peak() const noexcept;
+
+  /// Integral of max(0, usage - allocation(t)) dt over the series, where
+  /// `allocation` is a fraction-of-spec step function aligned to this
+  /// series (Fig. 4's "total underallocation"). Returns (loss, total usage)
+  /// in units of fraction*intervals, for throughput-loss ratios.
+  struct Underallocation {
+    double lost = 0.0;
+    double used = 0.0;
+  };
+  [[nodiscard]] Underallocation underallocation(
+      const std::vector<float>& allocation) const noexcept;
+
+ private:
+  std::vector<float> samples_;
+  sim::SimTime interval_ = kTraceInterval;
+};
+
+}  // namespace deflate::trace

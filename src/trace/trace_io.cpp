@@ -1,0 +1,97 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace deflate::trace {
+
+namespace {
+
+const char* class_token(hv::WorkloadClass c) {
+  switch (c) {
+    case hv::WorkloadClass::Interactive: return "interactive";
+    case hv::WorkloadClass::DelayInsensitive: return "delay-insensitive";
+    case hv::WorkloadClass::Unknown: return "unknown";
+  }
+  return "unknown";
+}
+
+hv::WorkloadClass parse_class(const std::string& token) {
+  if (token == "interactive") return hv::WorkloadClass::Interactive;
+  if (token == "delay-insensitive") return hv::WorkloadClass::DelayInsensitive;
+  return hv::WorkloadClass::Unknown;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const std::vector<VmRecord>& records) {
+  util::CsvWriter writer(out);
+  writer.write_row({"id", "class", "vcpus", "memory_mib", "disk_bw_mbps",
+                    "net_bw_mbps", "start_us", "end_us", "cpu_series"});
+  for (const VmRecord& record : records) {
+    std::ostringstream series;
+    const auto& samples = record.cpu.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (i) series << ';';
+      series << samples[i];
+    }
+    writer.write_row({std::to_string(record.id), class_token(record.workload),
+                      std::to_string(record.vcpus),
+                      std::to_string(record.memory_mib),
+                      std::to_string(record.disk_bw_mbps),
+                      std::to_string(record.net_bw_mbps),
+                      std::to_string(record.start.micros()),
+                      std::to_string(record.end.micros()), series.str()});
+  }
+}
+
+std::vector<VmRecord> read_trace_csv(std::istream& in) {
+  util::CsvReader reader(in);
+  std::vector<std::string> row;
+  std::vector<VmRecord> records;
+  bool header = true;
+  while (reader.read_row(row)) {
+    if (header) {  // skip column names
+      header = false;
+      continue;
+    }
+    if (row.size() < 9) {
+      throw std::runtime_error("trace CSV: malformed row");
+    }
+    VmRecord record;
+    record.id = std::stoull(row[0]);
+    record.workload = parse_class(row[1]);
+    record.vcpus = std::stoi(row[2]);
+    record.memory_mib = std::stod(row[3]);
+    record.disk_bw_mbps = std::stod(row[4]);
+    record.net_bw_mbps = std::stod(row[5]);
+    record.start = sim::SimTime::from_micros(std::stoll(row[6]));
+    record.end = sim::SimTime::from_micros(std::stoll(row[7]));
+    std::vector<float> samples;
+    std::istringstream series(row[8]);
+    std::string token;
+    while (std::getline(series, token, ';')) {
+      if (!token.empty()) samples.push_back(std::stof(token));
+    }
+    record.cpu = UtilizationSeries(std::move(samples));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+void save_trace(const std::string& path, const std::vector<VmRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace_csv(out, records);
+}
+
+std::vector<VmRecord> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace_csv(in);
+}
+
+}  // namespace deflate::trace

@@ -1,0 +1,23 @@
+// CSV persistence for VM traces, so generated traces can be inspected,
+// archived, and replayed byte-identically across tool versions.
+//
+// Format (one row per VM):
+//   id,class,vcpus,memory_mib,disk_bw,net_bw,start_us,end_us,u0;u1;...;uN
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/vm_record.hpp"
+
+namespace deflate::trace {
+
+void write_trace_csv(std::ostream& out, const std::vector<VmRecord>& records);
+[[nodiscard]] std::vector<VmRecord> read_trace_csv(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const std::vector<VmRecord>& records);
+[[nodiscard]] std::vector<VmRecord> load_trace(const std::string& path);
+
+}  // namespace deflate::trace

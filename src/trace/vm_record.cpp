@@ -1,0 +1,65 @@
+#include "trace/vm_record.hpp"
+
+#include <string>
+
+namespace deflate::trace {
+
+const char* size_bucket_name(SizeBucket b) noexcept {
+  switch (b) {
+    case SizeBucket::Small: return "small(<=2GB)";
+    case SizeBucket::Medium: return "medium(<=8GB)";
+    case SizeBucket::Large: return "large(>8GB)";
+  }
+  return "?";
+}
+
+SizeBucket size_bucket_for_memory(double memory_mib) noexcept {
+  if (memory_mib <= 2048.0) return SizeBucket::Small;
+  if (memory_mib <= 8192.0) return SizeBucket::Medium;
+  return SizeBucket::Large;
+}
+
+const char* peak_bucket_name(PeakBucket b) noexcept {
+  switch (b) {
+    case PeakBucket::Low: return "p95<33%";
+    case PeakBucket::Moderate: return "33-66%";
+    case PeakBucket::High: return "66-80%";
+    case PeakBucket::VeryHigh: return ">80%";
+  }
+  return "?";
+}
+
+PeakBucket peak_bucket_for_p95(double p95) noexcept {
+  if (p95 < 0.33) return PeakBucket::Low;
+  if (p95 < 0.66) return PeakBucket::Moderate;
+  if (p95 < 0.80) return PeakBucket::High;
+  return PeakBucket::VeryHigh;
+}
+
+double VmRecord::priority_from_p95(double p95) noexcept {
+  switch (peak_bucket_for_p95(p95)) {
+    case PeakBucket::Low: return 0.2;
+    case PeakBucket::Moderate: return 0.4;
+    case PeakBucket::High: return 0.6;
+    case PeakBucket::VeryHigh: return 0.8;
+  }
+  return 0.4;
+}
+
+hv::VmSpec VmRecord::to_spec() const {
+  hv::VmSpec spec;
+  spec.id = id;
+  spec.name = "vm-" + std::to_string(id);
+  spec.vcpus = vcpus;
+  spec.memory_mib = memory_mib;
+  // The cluster evaluation bin-packs and deflates on CPU cores and memory
+  // only (§7.1.2); I/O stays out of the placement constraint set.
+  spec.disk_bw_mbps = 0.0;
+  spec.net_bw_mbps = 0.0;
+  spec.workload = workload;
+  spec.deflatable = deflatable();
+  spec.priority = deflatable() ? priority_level() : 1.0;
+  return spec;
+}
+
+}  // namespace deflate::trace

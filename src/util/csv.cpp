@@ -1,0 +1,79 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace deflate::util {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row_doubles(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) {
+    std::ostringstream ss;
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  write_row(fields);
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  char c = 0;
+  while (in_.get(c)) {
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          in_.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  if (saw_any) {
+    fields.push_back(std::move(field));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace deflate::util

@@ -1,0 +1,39 @@
+// Minimal CSV reader/writer for trace persistence and harness output.
+// Handles quoting of fields containing commas/quotes/newlines; that is all
+// the trace formats in this repo need.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deflate::util {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience for mixed numeric rows.
+  void write_row_doubles(const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  /// Reads the next record (handles quoted fields spanning commas).
+  /// Returns false at end of input.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace deflate::util

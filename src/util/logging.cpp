@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <mutex>
+
+namespace deflate::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  static const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  std::scoped_lock lock(g_mutex);
+  std::clog << '[' << level_name(level) << ' ' << elapsed << "s] " << message
+            << '\n';
+}
+
+}  // namespace deflate::util

@@ -1,0 +1,35 @@
+// Tiny leveled logger. Controllers log deflation decisions at Info; the
+// simulators default to Warn so harness output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace deflate::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Thread-safe; prepends level + monotonic timestamp.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& ss, T&& first, Rest&&... rest) {
+  ss << std::forward<T>(first);
+  append(ss, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void logf(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream ss;
+  detail::append(ss, std::forward<Args>(args)...);
+  log(level, ss.str());
+}
+
+}  // namespace deflate::util

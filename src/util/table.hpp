@@ -1,0 +1,34 @@
+// Console table printer used by every figure harness so benchmark output
+// mirrors the rows/series reported in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deflate::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+  /// Formats doubles with the given precision; NaN prints as "-".
+  void add_row_doubles(const std::vector<double>& row, int precision = 3);
+  /// First cell is a label, the rest are numeric.
+  void add_row_labeled(const std::string& label, const std::vector<double>& row,
+                       int precision = 3);
+
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for harnesses).
+std::string format_double(double value, int precision = 3);
+
+}  // namespace deflate::util

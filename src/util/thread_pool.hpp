@@ -1,0 +1,57 @@
+// Fixed-size worker pool plus a deterministic parallel_for.
+//
+// HPC-guide alignment: parallelism is explicit and structured — callers
+// decompose work into independent ranges; there is no work stealing, and
+// every item owns a derived RNG stream, so numeric results do not depend on
+// the number of workers (DESIGN.md §6).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deflate::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Returns the process-wide pool (lazily constructed).
+ThreadPool& global_pool();
+
+/// Splits [0, n) into contiguous chunks and runs `body(begin, end)` on the
+/// pool. Blocks until all chunks finish. Exceptions from the body propagate
+/// (first one wins). With n == 0 this is a no-op.
+void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace deflate::util

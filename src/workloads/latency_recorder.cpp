@@ -1,0 +1,1 @@
+#include "workloads/latency_recorder.hpp"

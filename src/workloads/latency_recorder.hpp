@@ -1,0 +1,46 @@
+// Response-time collection for the interactive-application experiments
+// (Figs. 16-19): per-request latencies of served requests plus drop counts
+// (requests exceeding their timeout are "no longer interesting to the
+// users", §7.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace deflate::wl {
+
+class LatencyRecorder {
+ public:
+  void record_served(double response_time_s) {
+    latencies_.push_back(response_time_s);
+  }
+  void record_dropped() noexcept { ++dropped_; }
+
+  [[nodiscard]] std::size_t served() const noexcept { return latencies_.size(); }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t total() const noexcept { return served() + dropped(); }
+
+  /// Fraction of requests completed within the timeout (Fig. 17's metric).
+  [[nodiscard]] double served_fraction() const noexcept {
+    const std::size_t t = total();
+    return t == 0 ? 1.0 : static_cast<double>(served()) / static_cast<double>(t);
+  }
+
+  [[nodiscard]] util::Summary summary() const { return util::Summary::from(latencies_); }
+  [[nodiscard]] const std::vector<double>& latencies() const noexcept {
+    return latencies_;
+  }
+
+  void clear() noexcept {
+    latencies_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<double> latencies_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace deflate::wl

@@ -1,0 +1,129 @@
+#include "workloads/load_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workloads/latency_recorder.hpp"
+#include "workloads/open_loop.hpp"
+#include "workloads/ps_station.hpp"
+
+namespace deflate::wl {
+
+SmoothWrr::SmoothWrr(std::vector<double> weights) {
+  set_weights(std::move(weights));
+}
+
+void SmoothWrr::set_weights(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("SmoothWrr: no backends");
+  }
+  total_ = 0.0;
+  for (double& w : weights) {
+    w = std::max(0.0, w);
+    total_ += w;
+  }
+  if (total_ <= 0.0) {  // degenerate: fall back to uniform
+    for (double& w : weights) w = 1.0;
+    total_ = static_cast<double>(weights.size());
+  }
+  weights_ = std::move(weights);
+  current_.assign(weights_.size(), 0.0);
+}
+
+std::size_t SmoothWrr::pick() {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    current_[i] += weights_[i];
+    if (current_[i] > current_[best]) best = i;
+  }
+  current_[best] -= total_;
+  return best;
+}
+
+LbRunResult LbExperiment::run(double deflation, bool deflation_aware) const {
+  const LbConfig& cfg = config_;
+  sim::Simulator simulator;
+
+  std::vector<std::unique_ptr<PsStation>> replicas;
+  std::vector<double> capacities;
+  for (int i = 0; i < cfg.replicas; ++i) {
+    const bool deflated = i < cfg.deflatable_replicas;
+    const double cores =
+        static_cast<double>(cfg.cores_per_replica) *
+        (deflated ? std::max(0.0, 1.0 - deflation) : 1.0);
+    capacities.push_back(cores);
+    replicas.push_back(std::make_unique<PsStation>(simulator, cores));
+  }
+
+  // Vanilla HAProxy: equal static weights. Deflation-aware: weights track
+  // the replicas' effective vCPU counts (§7.3).
+  SmoothWrr balancer(deflation_aware
+                         ? capacities
+                         : std::vector<double>(replicas.size(), 1.0));
+
+  auto recorder = std::make_shared<LatencyRecorder>();
+  util::Rng rng = util::Rng::keyed(cfg.seed, deflation_aware ? 2 : 1);
+
+  OpenLoopSource source(
+      simulator, cfg.request_rate, cfg.duration, rng.derive(3),
+      [&, recorder]() mutable {
+        const sim::SimTime arrival = simulator.now();
+        const bool in_measurement = arrival >= cfg.warmup;
+
+        const double sigma = cfg.cpu_demand_sigma;
+        const double demand_s = rng.lognormal(
+            std::log(cfg.cpu_demand_mean_ms / 1000.0) - sigma * sigma / 2.0,
+            sigma);
+        double overhead_s =
+            rng.lognormal(std::log(cfg.overhead_median_s), cfg.overhead_sigma);
+        if (rng.bernoulli(cfg.slow_prob)) {
+          overhead_s += rng.uniform(cfg.slow_min_s, cfg.slow_max_s);
+        }
+        if (overhead_s >= cfg.timeout_s) {
+          if (in_measurement) recorder->record_dropped();
+          return;
+        }
+
+        const std::size_t choice = balancer.pick();
+        PsStation& replica = *replicas[choice];
+        // Interference: CPU pressure on the replica inflates the non-CPU
+        // portion of the request (see LbConfig::interference_gamma).
+        if (capacities[choice] > 0.0) {
+          const double busy_ratio =
+              std::min(1.0, static_cast<double>(replica.active_jobs() + 1) /
+                                capacities[choice]);
+          overhead_s *= 1.0 + cfg.interference_gamma * busy_ratio;
+        }
+        if (overhead_s >= cfg.timeout_s) {
+          if (in_measurement) recorder->record_dropped();
+          return;
+        }
+        const sim::SimTime cpu_deadline =
+            arrival + sim::SimTime::from_seconds(cfg.timeout_s - overhead_s);
+        replica.submit(demand_s, cpu_deadline,
+                       [recorder, arrival, overhead_s, in_measurement](
+                           sim::SimTime done_at, bool served) {
+                         if (!in_measurement) return;
+                         if (!served) {
+                           recorder->record_dropped();
+                           return;
+                         }
+                         recorder->record_served(
+                             overhead_s + (done_at - arrival).seconds());
+                       });
+      });
+  source.start();
+  simulator.run_until(cfg.duration +
+                      sim::SimTime::from_seconds(cfg.timeout_s + 1.0));
+
+  LbRunResult result;
+  result.latency = recorder->summary();
+  result.served_fraction = recorder->served_fraction();
+  return result;
+}
+
+}  // namespace deflate::wl

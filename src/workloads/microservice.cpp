@@ -1,0 +1,139 @@
+#include "workloads/microservice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workloads/latency_recorder.hpp"
+#include "workloads/open_loop.hpp"
+#include "workloads/ps_station.hpp"
+
+namespace deflate::wl {
+
+namespace {
+
+/// One hop of a request's pre-sampled path.
+struct Hop {
+  PsStation* station = nullptr;
+  double demand_s = 0.0;
+};
+
+/// Submits hops sequentially; records the end-to-end latency at the last
+/// hop or a drop if any hop times out.
+void run_chain(const std::shared_ptr<std::vector<Hop>>& path, std::size_t index,
+               sim::SimTime arrival, sim::SimTime deadline, bool in_measurement,
+               const std::shared_ptr<LatencyRecorder>& recorder) {
+  if (index >= path->size()) {
+    if (in_measurement) {
+      // arrival of completion event == now; caller recorded via last hop
+    }
+    return;
+  }
+  Hop& hop = (*path)[index];
+  hop.station->submit(
+      hop.demand_s, deadline,
+      [path, index, arrival, deadline, in_measurement, recorder](
+          sim::SimTime done_at, bool served) {
+        if (!served) {
+          if (in_measurement) recorder->record_dropped();
+          return;
+        }
+        if (index + 1 < path->size()) {
+          run_chain(path, index + 1, arrival, deadline, in_measurement, recorder);
+        } else if (in_measurement) {
+          recorder->record_served((done_at - arrival).seconds());
+        }
+      });
+}
+
+}  // namespace
+
+MicroserviceResult MicroserviceApp::run(double deflation) const {
+  const MicroserviceConfig& cfg = config_;
+  sim::Simulator simulator;
+
+  const double deflated_cores =
+      std::max(cfg.min_cores_per_service,
+               cfg.max_cores_per_service * (1.0 - deflation));
+
+  // Tiered station pools. Databases are never deflated (§7.2: "we deflate
+  // all microservices except for the databases").
+  std::vector<std::unique_ptr<PsStation>> frontends, logics, caches, dbs;
+  for (int i = 0; i < cfg.frontend_count; ++i) {
+    frontends.push_back(std::make_unique<PsStation>(simulator, deflated_cores));
+  }
+  for (int i = 0; i < cfg.logic_count; ++i) {
+    logics.push_back(std::make_unique<PsStation>(simulator, deflated_cores));
+  }
+  for (int i = 0; i < cfg.memcached_count; ++i) {
+    caches.push_back(std::make_unique<PsStation>(simulator, deflated_cores));
+  }
+  for (int i = 0; i < cfg.database_count; ++i) {
+    dbs.push_back(std::make_unique<PsStation>(simulator, cfg.max_cores_per_service));
+  }
+
+  auto recorder = std::make_shared<LatencyRecorder>();
+  util::Rng rng = util::Rng::keyed(cfg.seed, 0x50c1a1ULL);
+  std::size_t next_frontend = 0;
+
+  OpenLoopSource source(
+      simulator, cfg.request_rate, cfg.duration, rng.derive(1),
+      [&, recorder]() mutable {
+        const sim::SimTime arrival = simulator.now();
+        const bool in_measurement = arrival >= cfg.warmup;
+        const sim::SimTime deadline =
+            arrival + sim::SimTime::from_seconds(cfg.timeout_s);
+
+        auto demand = [&](double mean_ms) {
+          const double sigma = cfg.demand_sigma;
+          // lognormal with the requested mean: mu = ln(mean) - sigma^2/2
+          return rng.lognormal(std::log(mean_ms / 1000.0) - sigma * sigma / 2.0,
+                               sigma);
+        };
+
+        // Pre-sample the request's path: frontend, then logic hops
+        // interleaved with cache lookups, then one storage query.
+        auto path = std::make_shared<std::vector<Hop>>();
+        path->push_back(
+            {frontends[next_frontend].get(), demand(cfg.frontend_demand_ms)});
+        next_frontend = (next_frontend + 1) % frontends.size();
+
+        int cache_left = cfg.cache_lookups;
+        for (int hop = 0; hop < cfg.logic_hops; ++hop) {
+          const auto logic_idx = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(logics.size()) - 1));
+          path->push_back({logics[logic_idx].get(), demand(cfg.logic_demand_ms)});
+          if (cache_left > 0) {
+            const auto cache_idx = static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(caches.size()) - 1));
+            path->push_back(
+                {caches[cache_idx].get(), demand(cfg.cache_demand_ms)});
+            --cache_left;
+          }
+        }
+        const auto db_idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(dbs.size()) - 1));
+        path->push_back({dbs[db_idx].get(), demand(cfg.db_demand_ms)});
+
+        run_chain(path, 0, arrival, deadline, in_measurement, recorder);
+      });
+  source.start();
+  simulator.run_until(cfg.duration +
+                      sim::SimTime::from_seconds(cfg.timeout_s + 1.0));
+
+  MicroserviceResult result;
+  result.latency = recorder->summary();
+  result.served_fraction = recorder->served_fraction();
+  result.requests = recorder->total();
+  double hottest = 0.0;
+  for (const auto& s : logics) hottest = std::max(hottest, s->utilization());
+  for (const auto& s : frontends) hottest = std::max(hottest, s->utilization());
+  for (const auto& s : caches) hottest = std::max(hottest, s->utilization());
+  result.bottleneck_utilization = hottest;
+  return result;
+}
+
+}  // namespace deflate::wl

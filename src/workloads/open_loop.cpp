@@ -1,0 +1,31 @@
+#include "workloads/open_loop.hpp"
+
+#include <utility>
+
+namespace deflate::wl {
+
+OpenLoopSource::OpenLoopSource(sim::Simulator& simulator, double rate_per_s,
+                               sim::SimTime end, util::Rng rng, Arrival on_arrival)
+    : sim_(simulator),
+      rate_(rate_per_s),
+      end_(end),
+      rng_(rng),
+      on_arrival_(std::move(on_arrival)) {}
+
+void OpenLoopSource::start() {
+  if (rate_ <= 0.0) return;
+  schedule_next();
+}
+
+void OpenLoopSource::schedule_next() {
+  const double gap_s = rng_.exponential(rate_);
+  const sim::SimTime at = sim_.now() + sim::SimTime::from_seconds(gap_s);
+  if (at > end_) return;
+  sim_.schedule_at(at, [this] {
+    ++arrivals_;
+    on_arrival_();
+    schedule_next();
+  });
+}
+
+}  // namespace deflate::wl

@@ -1,0 +1,36 @@
+// Open-loop (Poisson) request source, the workload-generator model behind
+// wrk2-style constant-rate load (§7.1.1): arrivals do not slow down when
+// the system does, which is what exposes overload cliffs.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace deflate::wl {
+
+class OpenLoopSource {
+ public:
+  using Arrival = std::function<void()>;
+
+  /// Generates Poisson arrivals at `rate_per_s` from start() until `end`.
+  OpenLoopSource(sim::Simulator& simulator, double rate_per_s, sim::SimTime end,
+                 util::Rng rng, Arrival on_arrival);
+
+  void start();
+
+  [[nodiscard]] std::uint64_t arrivals() const noexcept { return arrivals_; }
+
+ private:
+  void schedule_next();
+
+  sim::Simulator& sim_;
+  double rate_;
+  sim::SimTime end_;
+  util::Rng rng_;
+  Arrival on_arrival_;
+  std::uint64_t arrivals_ = 0;
+};
+
+}  // namespace deflate::wl

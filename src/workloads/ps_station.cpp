@@ -1,0 +1,121 @@
+#include "workloads/ps_station.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deflate::wl {
+
+namespace {
+constexpr double kVirtualEps = 1e-12;
+}
+
+PsStation::PsStation(sim::Simulator& simulator, double capacity_cores)
+    : sim_(simulator),
+      capacity_(std::max(0.0, capacity_cores)),
+      last_wall_(simulator.now()),
+      accounting_start_(simulator.now()) {}
+
+double PsStation::rate() const noexcept {
+  if (live_jobs_ == 0) return 0.0;
+  return std::min(1.0, capacity_ / static_cast<double>(live_jobs_));
+}
+
+void PsStation::advance_virtual_time() {
+  const sim::SimTime now = sim_.now();
+  const double dt = (now - last_wall_).seconds();
+  if (dt > 0.0) {
+    const double r = rate();
+    virtual_now_ += dt * r;
+    busy_core_seconds_ += dt * r * static_cast<double>(live_jobs_);
+  }
+  last_wall_ = now;
+}
+
+void PsStation::set_capacity(double cores) {
+  advance_virtual_time();
+  capacity_ = std::max(0.0, cores);
+  reschedule_completion();
+}
+
+void PsStation::submit(double demand_s, sim::SimTime deadline, Completion done) {
+  advance_virtual_time();
+  const std::uint64_t id = next_id_++;
+  Job job;
+  job.virtual_finish = virtual_now_ + std::max(0.0, demand_s);
+  job.done = std::move(done);
+  if (deadline < sim::SimTime::max()) {
+    job.timeout = sim_.schedule_at(std::max(deadline, sim_.now()),
+                                   [this, id] { on_timeout(id); });
+  }
+  heap_.push(HeapEntry{job.virtual_finish, id});
+  jobs_.emplace(id, std::move(job));
+  ++live_jobs_;
+  reschedule_completion();
+}
+
+void PsStation::drop_dead_heap_top() {
+  while (!heap_.empty()) {
+    const auto it = jobs_.find(heap_.top().id);
+    if (it != jobs_.end() && it->second.alive) return;
+    heap_.pop();
+    if (it != jobs_.end()) jobs_.erase(it);
+  }
+}
+
+void PsStation::reschedule_completion() {
+  completion_event_.cancel();
+  drop_dead_heap_top();
+  if (heap_.empty()) return;
+  const double r = rate();
+  if (r <= 0.0) return;  // fully deflated: jobs only leave via timeout
+  const double remaining = std::max(0.0, heap_.top().virtual_finish - virtual_now_);
+  const auto delay = sim::SimTime::from_micros(static_cast<std::int64_t>(
+      std::ceil(remaining / r * 1e6)));
+  completion_event_ = sim_.schedule_in(delay, [this] { on_completion(); });
+}
+
+void PsStation::on_completion() {
+  advance_virtual_time();
+  // Complete every job whose virtual finish time has been reached (ties and
+  // rounding grouped into one event).
+  for (;;) {
+    drop_dead_heap_top();
+    if (heap_.empty() ||
+        heap_.top().virtual_finish > virtual_now_ + kVirtualEps) {
+      break;
+    }
+    const std::uint64_t id = heap_.top().id;
+    heap_.pop();
+    auto it = jobs_.find(id);
+    Job job = std::move(it->second);
+    jobs_.erase(it);
+    --live_jobs_;
+    job.timeout.cancel();
+    job.done(sim_.now(), /*served=*/true);
+  }
+  reschedule_completion();
+}
+
+void PsStation::on_timeout(std::uint64_t id) {
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || !it->second.alive) return;
+  advance_virtual_time();
+  Completion done = std::move(it->second.done);
+  it->second.alive = false;  // heap entry removed lazily
+  it->second.done = nullptr;
+  --live_jobs_;
+  done(sim_.now(), /*served=*/false);
+  reschedule_completion();
+}
+
+double PsStation::mean_busy_cores() const noexcept {
+  const double elapsed = (last_wall_ - accounting_start_).seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return busy_core_seconds_ / elapsed;
+}
+
+double PsStation::utilization() const noexcept {
+  return capacity_ > 0.0 ? mean_busy_cores() / capacity_ : 0.0;
+}
+
+}  // namespace deflate::wl

@@ -1,0 +1,87 @@
+// Processor-sharing multi-core queueing station.
+//
+// Models a (possibly deflated) VM or container serving requests: `capacity`
+// cores are shared equally among active jobs, with each job bounded by one
+// core of parallelism (a web request is single-threaded). Capacity can be
+// changed mid-run — that is exactly what CPU deflation does to a running
+// service, and the paper's response-time experiments (Figs. 16-19) are this
+// model under different capacity settings.
+//
+// The implementation uses the classic virtual-time formulation of egalitarian
+// PS: all jobs accrue service at the same instantaneous rate
+// r = min(1, C/n), so each event is O(log n) via a min-heap of virtual
+// finish times (lazy deletion for timeouts).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace deflate::wl {
+
+class PsStation {
+ public:
+  /// `done(completion_time, served)` fires exactly once per job: served on
+  /// completion, not-served if the deadline passed first.
+  using Completion = std::function<void(sim::SimTime, bool served)>;
+
+  PsStation(sim::Simulator& simulator, double capacity_cores);
+
+  /// Changes the shared capacity (deflation/reinflation) effective now.
+  void set_capacity(double cores);
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+
+  /// Submits a job needing `demand_s` CPU-seconds; it is aborted at
+  /// `deadline` if unfinished (pass sim::SimTime::max() for no deadline).
+  void submit(double demand_s, sim::SimTime deadline, Completion done);
+
+  [[nodiscard]] std::size_t active_jobs() const noexcept { return live_jobs_; }
+
+  /// Time-averaged number of busy cores since construction.
+  [[nodiscard]] double mean_busy_cores() const noexcept;
+  /// mean_busy_cores / capacity (using the *current* capacity).
+  [[nodiscard]] double utilization() const noexcept;
+
+ private:
+  struct Job {
+    double virtual_finish = 0.0;
+    Completion done;
+    sim::EventHandle timeout;
+    bool alive = true;
+  };
+  struct HeapEntry {
+    double virtual_finish;
+    std::uint64_t id;
+    bool operator>(const HeapEntry& rhs) const noexcept {
+      if (virtual_finish != rhs.virtual_finish)
+        return virtual_finish > rhs.virtual_finish;
+      return id > rhs.id;
+    }
+  };
+
+  [[nodiscard]] double rate() const noexcept;  ///< per-job cores right now
+  void advance_virtual_time();
+  void reschedule_completion();
+  void on_completion();
+  void on_timeout(std::uint64_t id);
+  void drop_dead_heap_top();
+
+  sim::Simulator& sim_;
+  double capacity_;
+  double virtual_now_ = 0.0;  ///< CPU-seconds each live job has received
+  sim::SimTime last_wall_;
+  double busy_core_seconds_ = 0.0;
+  sim::SimTime accounting_start_;
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Job> jobs_;
+  std::size_t live_jobs_ = 0;
+  std::uint64_t next_id_ = 0;
+  sim::EventHandle completion_event_;
+};
+
+}  // namespace deflate::wl

@@ -1,0 +1,71 @@
+#include "workloads/wikipedia.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "sim/simulator.hpp"
+#include "workloads/latency_recorder.hpp"
+#include "workloads/open_loop.hpp"
+#include "workloads/ps_station.hpp"
+
+namespace deflate::wl {
+
+AppRunResult WikipediaApp::run(double deflation) const {
+  const WikipediaConfig& cfg = config_;
+  sim::Simulator simulator;
+  const double capacity =
+      std::max(deflation >= 1.0 ? 0.0 : 1.0,
+               static_cast<double>(cfg.cores) * (1.0 - deflation));
+  PsStation station(simulator, capacity);
+  auto recorder = std::make_shared<LatencyRecorder>();
+
+  util::Rng rng = util::Rng::keyed(cfg.seed, 0xd1cefULL);
+  OpenLoopSource source(
+      simulator, cfg.request_rate, cfg.duration, rng.derive(1),
+      [&, recorder]() mutable {
+        const sim::SimTime arrival = simulator.now();
+        const bool in_measurement = arrival >= cfg.warmup;
+
+        const double page_mb =
+            rng.bounded_pareto(cfg.page_min_mb, cfg.page_max_mb, cfg.page_alpha);
+        const double demand_s = page_mb * cfg.cpu_ms_per_mb / 1000.0;
+        double overhead_s =
+            rng.lognormal(std::log(cfg.overhead_median_s), cfg.overhead_sigma);
+        if (rng.bernoulli(cfg.slow_prob)) {
+          overhead_s += rng.uniform(cfg.slow_min_s, cfg.slow_max_s);
+        }
+
+        if (overhead_s >= cfg.timeout_s) {  // slow page missed the timeout
+          if (in_measurement) recorder->record_dropped();
+          return;
+        }
+        // The CPU stage must finish before timeout - overhead.
+        const sim::SimTime cpu_deadline =
+            arrival + sim::SimTime::from_seconds(cfg.timeout_s - overhead_s);
+        station.submit(demand_s, cpu_deadline,
+                       [recorder, arrival, overhead_s, in_measurement](
+                           sim::SimTime done_at, bool served) {
+                         if (!in_measurement) return;
+                         if (!served) {
+                           recorder->record_dropped();
+                           return;
+                         }
+                         const double rt =
+                             overhead_s + (done_at - arrival).seconds();
+                         recorder->record_served(rt);
+                       });
+      });
+  source.start();
+  // Drain: every submitted request resolves within the timeout window.
+  simulator.run_until(cfg.duration + sim::SimTime::from_seconds(cfg.timeout_s + 1.0));
+
+  AppRunResult result;
+  result.latency = recorder->summary();
+  result.served_fraction = recorder->served_fraction();
+  result.cpu_utilization = station.utilization();
+  result.requests = recorder->total();
+  return result;
+}
+
+}  // namespace deflate::wl

@@ -1,0 +1,68 @@
+// German-Wikipedia replica model (§7.1.1, §7.2).
+//
+// The paper's testbed serves the 500 largest German-Wikipedia pages
+// (0.5-2.2 MB) from a 30-core VM at 800 req/s with a 15 s timeout. Here a
+// request is: a CPU stage on a processor-sharing station (page rendering,
+// demand proportional to page size) plus a non-CPU overhead drawn from a
+// heavy-tailed mixture (database, memcached misses, network) that dominates
+// the undeflated tail — matching the paper's 0.3 s mean / 6.8 s p99
+// baseline shape. CPU deflation shrinks only the station capacity.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace deflate::wl {
+
+struct WikipediaConfig {
+  int cores = 30;
+  double request_rate = 800.0;       ///< req/s, open loop
+  sim::SimTime duration = sim::SimTime::from_seconds(300);
+  sim::SimTime warmup = sim::SimTime::from_seconds(30);
+  double timeout_s = 15.0;           ///< §7.2: 15 s request timeout
+
+  // Page-size driven CPU demand: sizes ~ bounded Pareto [0.5, 2.2] MB
+  // (top-500 pages), demand = size * cpu_ms_per_mb.
+  // Mean demand ~7 ms puts the 6-core (80% deflation) point at ~93%
+  // utilization: visibly slower (the paper's 0.6 s mean) but still serving,
+  // with the full collapse only at 90%+ — matching Figs. 16-17.
+  double page_min_mb = 0.5;
+  double page_max_mb = 2.2;
+  double page_alpha = 1.1;
+  double cpu_ms_per_mb = 7.5;
+
+  // Non-CPU overhead: lognormal body plus a small very-slow tail.
+  double overhead_median_s = 0.22;
+  double overhead_sigma = 0.45;
+  double slow_prob = 0.012;
+  double slow_min_s = 3.5;
+  double slow_max_s = 6.5;
+
+  std::uint64_t seed = 7;
+};
+
+struct AppRunResult {
+  util::Summary latency;        ///< seconds, served requests only
+  double served_fraction = 1.0; ///< Fig. 17's "% requests served"
+  double cpu_utilization = 0.0; ///< of the deflated capacity
+  std::uint64_t requests = 0;
+};
+
+class WikipediaApp {
+ public:
+  explicit WikipediaApp(WikipediaConfig config) : config_(config) {}
+
+  /// Runs the workload with the VM's CPU deflated by `deflation` (0-1);
+  /// capacity becomes cores*(1-deflation), floored at one core when
+  /// deflation < 100% (the paper deflates 30 cores down to 1).
+  [[nodiscard]] AppRunResult run(double deflation) const;
+
+  [[nodiscard]] const WikipediaConfig& config() const noexcept { return config_; }
+
+ private:
+  WikipediaConfig config_;
+};
+
+}  // namespace deflate::wl

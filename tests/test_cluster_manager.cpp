@@ -1,0 +1,180 @@
+#include "cluster/cluster_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl = deflate::cluster;
+namespace hv = deflate::hv;
+namespace res = deflate::res;
+
+namespace {
+
+hv::VmSpec make_spec(std::uint64_t id, int vcpus, double mem_mib,
+                     bool deflatable, double priority = 0.5) {
+  hv::VmSpec spec;
+  spec.id = id;
+  spec.name = "vm-" + std::to_string(id);
+  spec.vcpus = vcpus;
+  spec.memory_mib = mem_mib;
+  spec.disk_bw_mbps = 0.0;
+  spec.net_bw_mbps = 0.0;
+  spec.deflatable = deflatable;
+  spec.priority = priority;
+  return spec;
+}
+
+cl::ClusterConfig small_cluster(std::size_t servers = 2,
+                                cl::ReclamationMode mode =
+                                    cl::ReclamationMode::Deflation) {
+  cl::ClusterConfig config;
+  config.server_count = servers;
+  config.server_capacity = {16.0, 32768.0, 1e9, 1e9};
+  config.mode = mode;
+  return config;
+}
+
+}  // namespace
+
+TEST(ClusterManager, PlacesVmOnEmptyCluster) {
+  cl::ClusterManager manager(small_cluster());
+  const auto result = manager.place_vm(make_spec(1, 8, 16384.0, false));
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.status, cl::PlacementResult::Status::Placed);
+  EXPECT_FALSE(result.needed_reclamation);
+  EXPECT_NE(manager.find_vm(1), nullptr);
+}
+
+TEST(ClusterManager, SpreadsLoadAcrossServers) {
+  cl::ClusterManager manager(small_cluster(2));
+  manager.place_vm(make_spec(1, 8, 16384.0, false));
+  const auto second = manager.place_vm(make_spec(2, 8, 16384.0, false));
+  // The fitness term prefers the emptier server.
+  EXPECT_NE(manager.server_of(1).value(), second.host_id);
+}
+
+TEST(ClusterManager, DeflatesResidentsToFitOnDemand) {
+  cl::ClusterManager manager(small_cluster(1));
+  manager.place_vm(make_spec(1, 16, 32768.0, /*deflatable=*/true));
+  const auto result = manager.place_vm(make_spec(2, 8, 16384.0, false));
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.needed_reclamation);
+  EXPECT_EQ(manager.stats().reclamation_attempts, 1U);
+  EXPECT_EQ(manager.stats().reclamation_failures, 0U);
+  // The deflatable VM shrank to make room.
+  EXPECT_GT(manager.find_vm(1)->max_deflation_fraction(), 0.0);
+}
+
+TEST(ClusterManager, RejectsWhenNothingDeflatable) {
+  cl::ClusterManager manager(small_cluster(1));
+  manager.place_vm(make_spec(1, 16, 32768.0, /*deflatable=*/false));
+  const auto result = manager.place_vm(make_spec(2, 8, 16384.0, false));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(manager.stats().reclamation_failures, 1U);
+  EXPECT_EQ(manager.stats().rejections, 1U);
+}
+
+TEST(ClusterManager, DeflatableVmLaunchesDeflatedUnderPressure) {
+  cl::ClusterManager manager(small_cluster(1));
+  manager.place_vm(make_spec(1, 12, 24576.0, /*deflatable=*/false));
+  // 16-core deflatable VM cannot fit at full size (only 4 cores left).
+  const auto result = manager.place_vm(make_spec(2, 16, 32768.0, true, 0.2));
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.status, cl::PlacementResult::Status::PlacedDeflated);
+  EXPECT_LT(result.launch_fraction, 1.0);
+  EXPECT_EQ(manager.stats().deflated_launches, 1U);
+  const hv::Vm* vm = manager.find_vm(2);
+  ASSERT_NE(vm, nullptr);
+  EXPECT_GT(vm->max_deflation_fraction(), 0.0);
+}
+
+TEST(ClusterManager, RemoveVmReinflatesSurvivors) {
+  cl::ClusterManager manager(small_cluster(1));
+  manager.place_vm(make_spec(1, 16, 32768.0, true));
+  manager.place_vm(make_spec(2, 8, 16384.0, false));
+  ASSERT_GT(manager.find_vm(1)->max_deflation_fraction(), 0.0);
+  EXPECT_TRUE(manager.remove_vm(2));
+  EXPECT_DOUBLE_EQ(manager.find_vm(1)->max_deflation_fraction(), 0.0);
+}
+
+TEST(ClusterManager, RemoveUnknownVmReturnsFalse) {
+  cl::ClusterManager manager(small_cluster());
+  EXPECT_FALSE(manager.remove_vm(404));
+}
+
+TEST(ClusterManager, TotalsTrackPlacements) {
+  cl::ClusterManager manager(small_cluster(2));
+  manager.place_vm(make_spec(1, 8, 16384.0, false));
+  manager.place_vm(make_spec(2, 4, 8192.0, true));
+  const auto committed = manager.total_committed();
+  EXPECT_DOUBLE_EQ(committed.cpu(), 12.0);
+  EXPECT_DOUBLE_EQ(manager.total_capacity().cpu(), 32.0);
+  EXPECT_DOUBLE_EQ(manager.total_allocated().cpu(), 12.0);
+}
+
+TEST(ClusterManager, DeflationNotificationsSurface) {
+  cl::ClusterManager manager(small_cluster(1));
+  int events = 0;
+  manager.subscribe_deflation([&](const hv::Vm&, const res::ResourceVector&,
+                                  const res::ResourceVector&) { ++events; });
+  manager.place_vm(make_spec(1, 16, 32768.0, true));
+  manager.place_vm(make_spec(2, 8, 16384.0, false));
+  EXPECT_GE(events, 1);
+}
+
+TEST(ClusterManager, PreemptionModeEvictsLowPriority) {
+  cl::ClusterManager manager(
+      small_cluster(1, cl::ReclamationMode::Preemption));
+  manager.place_vm(make_spec(1, 8, 16384.0, true, /*priority=*/0.2));
+  manager.place_vm(make_spec(2, 8, 16384.0, true, /*priority=*/0.8));
+  std::vector<std::uint64_t> preempted;
+  manager.subscribe_preemption(
+      [&](const hv::VmSpec& spec) { preempted.push_back(spec.id); });
+
+  const auto result = manager.place_vm(make_spec(3, 8, 16384.0, false));
+  EXPECT_TRUE(result.ok());
+  ASSERT_EQ(preempted.size(), 1U);
+  EXPECT_EQ(preempted[0], 1U);  // lowest priority evicted first
+  EXPECT_EQ(manager.find_vm(1), nullptr);
+  EXPECT_NE(manager.find_vm(2), nullptr);
+  EXPECT_EQ(manager.stats().preemptions, 1U);
+}
+
+TEST(ClusterManager, PreemptionModeDeflatableNeverEvicts) {
+  cl::ClusterManager manager(
+      small_cluster(1, cl::ReclamationMode::Preemption));
+  manager.place_vm(make_spec(1, 16, 32768.0, true, 0.2));
+  // A deflatable VM must not preempt others; it is simply rejected.
+  const auto result = manager.place_vm(make_spec(2, 8, 16384.0, true, 0.4));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(manager.stats().preemptions, 0U);
+  EXPECT_NE(manager.find_vm(1), nullptr);
+}
+
+TEST(ClusterManager, PartitionedPlacementSeparatesPriorities) {
+  cl::ClusterConfig config = small_cluster(5);
+  config.partitioned = true;
+  config.pool_weights = {0.2, 0.2, 0.2, 0.2, 0.2};
+  cl::ClusterManager manager(config);
+
+  const auto od = manager.place_vm(make_spec(1, 4, 8192.0, false));
+  const auto low = manager.place_vm(make_spec(2, 4, 8192.0, true, 0.2));
+  const auto high = manager.place_vm(make_spec(3, 4, 8192.0, true, 0.8));
+  ASSERT_TRUE(od.ok());
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_NE(od.host_id, low.host_id);
+  EXPECT_NE(low.host_id, high.host_id);
+  EXPECT_NE(od.host_id, high.host_id);
+}
+
+TEST(ClusterManager, PartitionFullRejectsEvenIfClusterHasRoom) {
+  cl::ClusterConfig config = small_cluster(2);
+  config.partitioned = true;
+  config.pool_weights = {0.5, 0.5};
+  cl::ClusterManager manager(config);
+  // Fill the on-demand pool (one server).
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 16, 32768.0, false)).ok());
+  const auto result = manager.place_vm(make_spec(2, 8, 16384.0, false));
+  // §5.2.1: "if a partition becomes full ... new VMs may have to be
+  // rejected using the admission control mechanism".
+  EXPECT_FALSE(result.ok());
+}

@@ -1,0 +1,175 @@
+#include "core/local_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace core = deflate::core;
+namespace hv = deflate::hv;
+namespace mech = deflate::mech;
+namespace res = deflate::res;
+
+namespace {
+
+struct Rig {
+  explicit Rig(core::PolicyKind kind = core::PolicyKind::Proportional)
+      : hypervisor(0, {48.0, 131072.0, 4000.0, 40000.0}),
+        controller(hypervisor, core::make_policy(kind),
+                   std::make_shared<mech::HybridDeflation>()) {}
+
+  hv::Vm& boot(std::uint64_t id, int vcpus, double mem, bool deflatable,
+               double priority = 0.5) {
+    hv::VmSpec spec;
+    spec.id = id;
+    spec.name = "vm-" + std::to_string(id);
+    spec.vcpus = vcpus;
+    spec.memory_mib = mem;
+    spec.disk_bw_mbps = 100.0;
+    spec.net_bw_mbps = 1000.0;
+    spec.deflatable = deflatable;
+    spec.priority = priority;
+    return hypervisor.create_vm(spec);
+  }
+
+  hv::SimHypervisor hypervisor;
+  core::LocalDeflationController controller;
+};
+
+}  // namespace
+
+TEST(LocalController, NoDeflationWhenCapacityFree) {
+  Rig rig;
+  rig.boot(1, 8, 16384.0, true);
+  const auto outcome = rig.controller.make_room_for({8.0, 16384.0, 0.0, 0.0});
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.vms_deflated, 0);
+  EXPECT_TRUE(outcome.reclaimed.is_zero());
+}
+
+TEST(LocalController, DeflatesToMakeRoom) {
+  Rig rig;
+  // Fill the host: 3 deflatable VMs of 16 cores each = 48 committed.
+  for (int i = 0; i < 3; ++i) rig.boot(static_cast<std::uint64_t>(i), 16, 32768.0, true);
+  EXPECT_DOUBLE_EQ(rig.hypervisor.host().available().cpu(), 0.0);
+
+  const auto outcome = rig.controller.make_room_for({12.0, 16384.0, 0.0, 0.0});
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.vms_deflated, 3);  // proportional touches everyone
+  EXPECT_GE(rig.hypervisor.host().available().cpu(), 12.0 - 1e-6);
+  EXPECT_GE(rig.hypervisor.host().available().memory(), 16384.0 - 1e-6);
+}
+
+TEST(LocalController, FailureIsAtomic) {
+  Rig rig;
+  rig.boot(1, 16, 32768.0, /*deflatable=*/false);
+  rig.boot(2, 16, 32768.0, /*deflatable=*/false);
+  hv::Vm& deflatable = rig.boot(3, 16, 32768.0, true);
+  // Demand exceeds what deflating VM 3 alone can free.
+  const auto outcome = rig.controller.make_room_for({40.0, 0.0, 0.0, 0.0});
+  EXPECT_FALSE(outcome.success);
+  // Atomicity: nothing was deflated on the failed attempt.
+  EXPECT_DOUBLE_EQ(deflatable.max_deflation_fraction(), 0.0);
+  EXPECT_EQ(outcome.vms_deflated, 0);
+}
+
+TEST(LocalController, OnDemandVmsNeverTouched) {
+  Rig rig;
+  hv::Vm& od = rig.boot(1, 24, 65536.0, /*deflatable=*/false);
+  rig.boot(2, 24, 65536.0, true);
+  const auto outcome = rig.controller.make_room_for({20.0, 40000.0, 0.0, 0.0});
+  EXPECT_TRUE(outcome.success);
+  EXPECT_DOUBLE_EQ(od.max_deflation_fraction(), 0.0);
+}
+
+TEST(LocalController, CanFitAgreesWithMakeRoom) {
+  Rig rig;
+  for (int i = 0; i < 3; ++i) rig.boot(static_cast<std::uint64_t>(i), 16, 32768.0, true);
+  const res::ResourceVector fits{30.0, 60000.0, 0.0, 0.0};
+  const res::ResourceVector too_much{47.9, 0.0, 0.0, 0.0};
+  EXPECT_TRUE(rig.controller.can_fit(fits));
+  EXPECT_FALSE(rig.controller.can_fit(too_much));
+  EXPECT_TRUE(rig.controller.make_room_for(fits).success);
+}
+
+TEST(LocalController, ReclaimableHeadroomTracksPolicy) {
+  Rig proportional(core::PolicyKind::Proportional);
+  Rig deterministic(core::PolicyKind::Deterministic);
+  for (Rig* rig : {&proportional, &deterministic}) {
+    rig->boot(1, 16, 32768.0, true, /*priority=*/0.5);
+  }
+  // Proportional can go to the survival floor; deterministic only to pi*M.
+  EXPECT_NEAR(proportional.controller.reclaimable_headroom().cpu(), 16.0 - 0.05,
+              1e-9);
+  EXPECT_NEAR(deterministic.controller.reclaimable_headroom().cpu(), 8.0, 1e-9);
+}
+
+TEST(LocalController, RedistributeFreeReinflates) {
+  Rig rig;
+  hv::Vm& vm1 = rig.boot(1, 16, 32768.0, true);
+  hv::Vm& vm2 = rig.boot(2, 16, 32768.0, true);
+  rig.boot(3, 16, 32768.0, true);
+  ASSERT_TRUE(rig.controller.make_room_for({12.0, 16384.0, 0.0, 0.0}).success);
+  EXPECT_GT(vm1.max_deflation_fraction(), 0.0);
+
+  // The "new VM" departs without ever being placed: free capacity returns.
+  const auto given = rig.controller.redistribute_free();
+  EXPECT_GT(given.cpu(), 0.0);
+  EXPECT_DOUBLE_EQ(vm1.max_deflation_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(vm2.max_deflation_fraction(), 0.0);
+  EXPECT_LE(rig.hypervisor.host().available().cpu(), 1e-6);
+}
+
+TEST(LocalController, PartialReinflationConservesCapacity) {
+  Rig rig;
+  for (int i = 0; i < 3; ++i) rig.boot(static_cast<std::uint64_t>(i), 16, 32768.0, true);
+  ASSERT_TRUE(rig.controller.make_room_for({24.0, 0.0, 0.0, 0.0}).success);
+  // Pretend a 12-core VM landed and holds the space: deflate state stands.
+  rig.boot(99, 12, 8192.0, false);
+  rig.controller.redistribute_free();
+  const auto allocated = rig.hypervisor.host().allocated();
+  EXPECT_LE(allocated.cpu(), 48.0 + 1e-6);  // never over capacity
+  EXPECT_GE(allocated.cpu(), 48.0 - 1e-6);  // but fully reinflated into slack
+}
+
+TEST(LocalController, NotificationsFireOnDeflation) {
+  Rig rig;
+  for (int i = 0; i < 2; ++i) rig.boot(static_cast<std::uint64_t>(i), 24, 65536.0, true);
+  int events = 0;
+  res::ResourceVector last_old, last_new;
+  rig.controller.subscribe([&](const hv::Vm&, const res::ResourceVector& o,
+                               const res::ResourceVector& n) {
+    ++events;
+    last_old = o;
+    last_new = n;
+  });
+  ASSERT_TRUE(rig.controller.make_room_for({10.0, 0.0, 0.0, 0.0}).success);
+  EXPECT_EQ(events, 2);
+  EXPECT_GT(last_old.cpu(), last_new.cpu());
+}
+
+TEST(LocalController, ApplyAllocationDrivesSingleVm) {
+  Rig rig;
+  hv::Vm& vm = rig.boot(1, 8, 16384.0, true);
+  int events = 0;
+  rig.controller.subscribe(
+      [&](const hv::Vm&, const res::ResourceVector&, const res::ResourceVector&) {
+        ++events;
+      });
+  rig.controller.apply_allocation(vm, vm.spec().vector() * 0.5);
+  EXPECT_NEAR(vm.effective_allocation().cpu(), 4.0, 1e-9);
+  EXPECT_EQ(events, 1);
+  // No-op target fires no event.
+  rig.controller.apply_allocation(vm, vm.effective_allocation());
+  EXPECT_EQ(events, 1);
+}
+
+TEST(LocalController, DeterministicPolicyDeflatesLowestPriorityFirst) {
+  Rig rig(core::PolicyKind::Deterministic);
+  hv::Vm& high = rig.boot(1, 16, 32768.0, true, 0.8);
+  hv::Vm& low = rig.boot(2, 16, 32768.0, true, 0.2);
+  rig.boot(3, 16, 32768.0, false);
+  // Need 10 cores: deflating `low` to 0.2*16 = 3.2 frees 12.8 — enough.
+  ASSERT_TRUE(rig.controller.make_room_for({10.0, 0.0, 0.0, 0.0}).success);
+  EXPECT_DOUBLE_EQ(high.max_deflation_fraction(), 0.0);
+  EXPECT_GT(low.deflation_fraction(res::Resource::Cpu), 0.7);
+}

@@ -1,0 +1,125 @@
+#include "core/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace core = deflate::core;
+
+TEST(PerfCurve, RejectsDegenerateInput) {
+  EXPECT_THROW(core::PerfCurve::from_points({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(core::PerfCurve::from_points({{0.5, 1.0}, {0.5, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(core::PerfCurve::from_points({{0.6, 1.0}, {0.5, 0.5}}),
+               std::invalid_argument);
+}
+
+TEST(PerfCurve, InterpolatesLinearly) {
+  const auto curve = core::PerfCurve::from_points({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_DOUBLE_EQ(curve.performance(0.25), 0.75);
+  EXPECT_DOUBLE_EQ(curve.performance(0.5), 0.5);
+}
+
+TEST(PerfCurve, ClampsOutsideRange) {
+  const auto curve = core::PerfCurve::from_points({{0.2, 0.9}, {0.8, 0.3}});
+  EXPECT_DOUBLE_EQ(curve.performance(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(curve.performance(1.0), 0.3);
+}
+
+TEST(PerfCurve, ResponseTimeMultiplierIsInverse) {
+  const auto curve = core::PerfCurve::from_points({{0.0, 1.0}, {1.0, 0.5}});
+  EXPECT_DOUBLE_EQ(curve.response_time_multiplier(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.response_time_multiplier(1.0), 2.0);
+}
+
+TEST(PerfCurve, MultiplierSaturatesNearZeroPerf) {
+  const auto curve = core::PerfCurve::from_points({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_LE(curve.response_time_multiplier(1.0), 101.0);
+}
+
+TEST(Profiles, SpecJbbHasNoSlack) {
+  const auto curve = core::PerfCurve::specjbb();
+  EXPECT_LT(curve.slack(0.01), 0.05);
+  EXPECT_LT(curve.performance(0.2), 0.9);
+}
+
+TEST(Profiles, MemcachedHasLargeSlack) {
+  const auto curve = core::PerfCurve::memcached();
+  EXPECT_GE(curve.slack(0.01), 0.3);
+  EXPECT_GE(curve.performance(0.5), 0.95);
+}
+
+TEST(Profiles, KcompileBetweenTheTwo) {
+  const double jbb = core::PerfCurve::specjbb().slack(0.05);
+  const double kc = core::PerfCurve::kcompile().slack(0.05);
+  const double mc = core::PerfCurve::memcached().slack(0.05);
+  EXPECT_LT(jbb, kc);
+  EXPECT_LT(kc, mc);
+}
+
+TEST(Profiles, AllMonotoneNonIncreasing) {
+  for (const auto& curve :
+       {core::PerfCurve::specjbb(), core::PerfCurve::kcompile(),
+        core::PerfCurve::memcached()}) {
+    double prev = 2.0;
+    for (int i = 0; i <= 100; ++i) {
+      const double p = curve.performance(i / 100.0);
+      ASSERT_LE(p, prev + 1e-12);
+      prev = p;
+    }
+  }
+}
+
+TEST(AbstractModel, ThreeRegions) {
+  const auto curve = core::PerfCurve::abstract_model(0.3, 0.7, 0.5);
+  // Slack region: flat at 1.
+  EXPECT_DOUBLE_EQ(curve.performance(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.performance(0.3), 1.0);
+  // Linear region: between 1 and knee_perf.
+  EXPECT_LT(curve.performance(0.5), 1.0);
+  EXPECT_GT(curve.performance(0.5), 0.5);
+  // Post-knee: precipitous.
+  const double slope_linear =
+      (curve.performance(0.3) - curve.performance(0.7)) / 0.4;
+  const double slope_cliff =
+      (curve.performance(0.7) - curve.performance(1.0)) / 0.3;
+  EXPECT_GT(slope_cliff, slope_linear);
+}
+
+TEST(AbstractModel, SanitizesArguments) {
+  // Degenerate arguments get clamped instead of throwing.
+  const auto curve = core::PerfCurve::abstract_model(1.5, 0.1, 2.0);
+  EXPECT_DOUBLE_EQ(curve.performance(0.0), 1.0);
+  EXPECT_GE(curve.performance(0.99), 0.0);
+}
+
+TEST(MemoryPerfModel, NoPressureNoPenalty) {
+  const core::MemoryPerfModel model;
+  EXPECT_DOUBLE_EQ(model.rt_multiplier(0.0, false), 1.0);
+}
+
+TEST(MemoryPerfModel, HybridGainWithoutPressure) {
+  const core::MemoryPerfModel model;
+  EXPECT_NEAR(model.rt_multiplier(0.0, true), 0.9, 1e-12);
+}
+
+TEST(MemoryPerfModel, PenaltyGrowsWithPressure) {
+  const core::MemoryPerfModel model;
+  const double p1 = model.rt_multiplier(0.02, false);
+  const double p2 = model.rt_multiplier(0.10, false);
+  EXPECT_GT(p1, 1.0);
+  EXPECT_GT(p2, p1);
+}
+
+TEST(MemoryPerfModel, HybridBeatsTransparentAtEqualPressure) {
+  const core::MemoryPerfModel model;
+  for (double pressure = 0.0; pressure <= 0.5; pressure += 0.05) {
+    EXPECT_LT(model.rt_multiplier(pressure, true),
+              model.rt_multiplier(pressure, false));
+  }
+}
+
+TEST(MemoryPerfModel, PressureClamped) {
+  const core::MemoryPerfModel model;
+  EXPECT_DOUBLE_EQ(model.rt_multiplier(-1.0, false), 1.0);
+  EXPECT_DOUBLE_EQ(model.rt_multiplier(2.0, false),
+                   model.rt_multiplier(1.0, false));
+}

@@ -1,0 +1,110 @@
+#include "resources/resource_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace dr = deflate::res;
+
+TEST(ResourceVector, DefaultIsZero) {
+  const dr::ResourceVector v;
+  EXPECT_TRUE(v.is_zero());
+  for (const auto r : dr::all_resources) EXPECT_DOUBLE_EQ(v[r], 0.0);
+}
+
+TEST(ResourceVector, NamedAccessors) {
+  const dr::ResourceVector v(4.0, 8192.0, 100.0, 1000.0);
+  EXPECT_DOUBLE_EQ(v.cpu(), 4.0);
+  EXPECT_DOUBLE_EQ(v.memory(), 8192.0);
+  EXPECT_DOUBLE_EQ(v.disk_bw(), 100.0);
+  EXPECT_DOUBLE_EQ(v.net_bw(), 1000.0);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  const dr::ResourceVector a(1.0, 2.0, 3.0, 4.0);
+  const dr::ResourceVector b(0.5, 1.0, 1.5, 2.0);
+  EXPECT_EQ(a + b, dr::ResourceVector(1.5, 3.0, 4.5, 6.0));
+  EXPECT_EQ(a - b, b);
+  EXPECT_EQ(a * 2.0, dr::ResourceVector(2.0, 4.0, 6.0, 8.0));
+  EXPECT_EQ(2.0 * a, a * 2.0);
+}
+
+TEST(ResourceVector, UniformFill) {
+  const auto v = dr::ResourceVector::uniform(3.0);
+  for (const auto r : dr::all_resources) EXPECT_DOUBLE_EQ(v[r], 3.0);
+}
+
+TEST(ResourceVector, DominanceChecks) {
+  const dr::ResourceVector small(1.0, 1.0, 1.0, 1.0);
+  const dr::ResourceVector big(2.0, 2.0, 2.0, 2.0);
+  const dr::ResourceVector mixed(3.0, 0.5, 1.0, 1.0);
+  EXPECT_TRUE(small.all_leq(big));
+  EXPECT_FALSE(big.all_leq(small));
+  EXPECT_FALSE(mixed.all_leq(big));
+  EXPECT_TRUE(small.all_leq(small));  // reflexive within epsilon
+}
+
+TEST(ResourceVector, NegativeDetectionAndClamp) {
+  const dr::ResourceVector v(1.0, -2.0, 3.0, 0.0);
+  EXPECT_TRUE(v.any_negative());
+  const auto clamped = v.clamped_nonneg();
+  EXPECT_FALSE(clamped.any_negative());
+  EXPECT_DOUBLE_EQ(clamped.memory(), 0.0);
+  EXPECT_DOUBLE_EQ(clamped.cpu(), 1.0);
+}
+
+TEST(ResourceVector, ElementwiseMinMax) {
+  const dr::ResourceVector a(1.0, 5.0, 2.0, 8.0);
+  const dr::ResourceVector b(3.0, 2.0, 2.0, 4.0);
+  EXPECT_EQ(a.elementwise_min(b), dr::ResourceVector(1.0, 2.0, 2.0, 4.0));
+  EXPECT_EQ(a.elementwise_max(b), dr::ResourceVector(3.0, 5.0, 2.0, 8.0));
+}
+
+TEST(ResourceVector, DotAndNorm) {
+  const dr::ResourceVector a(3.0, 4.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  const dr::ResourceVector b(1.0, 1.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 7.0);
+}
+
+TEST(CosineSimilarity, ParallelVectorsScoreOne) {
+  const dr::ResourceVector a(2.0, 4.0, 6.0, 8.0);
+  EXPECT_NEAR(dr::cosine_similarity(a, a * 3.0), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OrthogonalVectorsScoreZero) {
+  const dr::ResourceVector a(1.0, 0.0, 0.0, 0.0);
+  const dr::ResourceVector b(0.0, 1.0, 0.0, 0.0);
+  EXPECT_NEAR(dr::cosine_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarity, ZeroVectorGuarded) {
+  const dr::ResourceVector a(1.0, 2.0, 3.0, 4.0);
+  const dr::ResourceVector zero;
+  // Must not divide by zero; the guard yields a finite value.
+  EXPECT_TRUE(std::isfinite(dr::cosine_similarity(a, zero)));
+}
+
+TEST(CosineSimilarity, PrefersMatchingShape) {
+  // A CPU-heavy demand should score higher against a CPU-rich host.
+  const dr::ResourceVector demand(8.0, 1024.0, 0.0, 0.0);
+  const dr::ResourceVector cpu_rich(32.0, 4096.0, 0.0, 0.0);
+  const dr::ResourceVector mem_rich(2.0, 100000.0, 0.0, 0.0);
+  EXPECT_GT(dr::cosine_similarity(demand, cpu_rich),
+            dr::cosine_similarity(demand, mem_rich));
+}
+
+TEST(ResourceVector, StreamOutput) {
+  std::ostringstream out;
+  out << dr::ResourceVector(1.0, 2.0, 3.0, 4.0);
+  EXPECT_NE(out.str().find("cpu=1"), std::string::npos);
+  EXPECT_NE(out.str().find("mem=2"), std::string::npos);
+}
+
+TEST(ResourceNames, AllDistinct) {
+  EXPECT_EQ(dr::resource_name(dr::Resource::Cpu), "cpu");
+  EXPECT_EQ(dr::resource_name(dr::Resource::Memory), "memory");
+  EXPECT_EQ(dr::resource_name(dr::Resource::DiskBw), "disk_bw");
+  EXPECT_EQ(dr::resource_name(dr::Resource::NetBw), "net_bw");
+}

@@ -1,0 +1,147 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ds = deflate::sim;
+
+TEST(SimTime, ConversionsRoundTrip) {
+  EXPECT_EQ(ds::SimTime::from_seconds(1.5).micros(), 1500000);
+  EXPECT_DOUBLE_EQ(ds::SimTime::from_micros(250000).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(ds::SimTime::from_minutes(5).seconds(), 300.0);
+  EXPECT_DOUBLE_EQ(ds::SimTime::from_hours(2).seconds(), 7200.0);
+  EXPECT_DOUBLE_EQ(ds::SimTime::from_millis(2.5).micros(), 2500);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const auto a = ds::SimTime::from_seconds(1.0);
+  const auto b = ds::SimTime::from_seconds(2.0);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((a + a).micros(), b.micros());
+  EXPECT_EQ((b - a).micros(), a.micros());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  ds::Simulator simulator;
+  std::vector<int> order;
+  simulator.schedule_at(ds::SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  simulator.schedule_at(ds::SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  simulator.schedule_at(ds::SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  simulator.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  ds::Simulator simulator;
+  std::vector<int> order;
+  const auto t = ds::SimTime::from_seconds(1.0);
+  for (int i = 0; i < 10; ++i) {
+    simulator.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  simulator.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  ds::Simulator simulator;
+  ds::SimTime seen;
+  simulator.schedule_at(ds::SimTime::from_seconds(5.0),
+                        [&] { seen = simulator.now(); });
+  simulator.run();
+  EXPECT_EQ(seen, ds::SimTime::from_seconds(5.0));
+  EXPECT_EQ(simulator.now(), ds::SimTime::from_seconds(5.0));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  ds::Simulator simulator;
+  std::vector<double> times;
+  simulator.schedule_at(ds::SimTime::from_seconds(1.0), [&] {
+    simulator.schedule_in(ds::SimTime::from_seconds(2.0),
+                          [&] { times.push_back(simulator.now().seconds()); });
+  });
+  simulator.run();
+  ASSERT_EQ(times.size(), 1U);
+  EXPECT_DOUBLE_EQ(times[0], 3.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  ds::Simulator simulator;
+  simulator.schedule_at(ds::SimTime::from_seconds(2.0), [] {});
+  simulator.run();
+  EXPECT_THROW(simulator.schedule_at(ds::SimTime::from_seconds(1.0), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  ds::Simulator simulator;
+  bool ran = false;
+  auto handle =
+      simulator.schedule_at(ds::SimTime::from_seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  simulator.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterRun) {
+  ds::Simulator simulator;
+  auto handle = simulator.schedule_at(ds::SimTime::from_seconds(1.0), [] {});
+  simulator.run();
+  handle.cancel();  // no-op
+  handle.cancel();
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  ds::Simulator simulator;
+  int ran = 0;
+  simulator.schedule_at(ds::SimTime::from_seconds(1.0), [&] { ++ran; });
+  simulator.schedule_at(ds::SimTime::from_seconds(10.0), [&] { ++ran; });
+  const auto count = simulator.run_until(ds::SimTime::from_seconds(5.0));
+  EXPECT_EQ(count, 1U);
+  EXPECT_EQ(ran, 1);
+  // Clock parked at the boundary, later event still pending.
+  EXPECT_EQ(simulator.now(), ds::SimTime::from_seconds(5.0));
+  EXPECT_EQ(simulator.events_pending(), 1U);
+  simulator.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, StopAbortsRunLoop) {
+  ds::Simulator simulator;
+  int ran = 0;
+  simulator.schedule_at(ds::SimTime::from_seconds(1.0), [&] {
+    ++ran;
+    simulator.stop();
+  });
+  simulator.schedule_at(ds::SimTime::from_seconds(2.0), [&] { ++ran; });
+  simulator.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  ds::Simulator simulator;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      simulator.schedule_in(ds::SimTime::from_millis(1.0), recurse);
+    }
+  };
+  simulator.schedule_in(ds::SimTime::from_millis(1.0), recurse);
+  simulator.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(simulator.events_executed(), 100U);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  ds::Simulator simulator;
+  int ran = 0;
+  simulator.schedule_at(ds::SimTime::from_seconds(1.0), [&] { ++ran; });
+  simulator.schedule_at(ds::SimTime::from_seconds(2.0), [&] { ++ran; });
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(simulator.step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(simulator.step());
+}

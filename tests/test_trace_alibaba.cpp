@@ -1,0 +1,92 @@
+#include "trace/alibaba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace tr = deflate::trace;
+
+namespace {
+
+tr::AlibabaTraceConfig small_config(std::size_t n = 300) {
+  tr::AlibabaTraceConfig config;
+  config.container_count = n;
+  config.seed = 7;
+  config.duration = deflate::sim::SimTime::from_hours(12);
+  return config;
+}
+
+}  // namespace
+
+TEST(AlibabaTrace, GeneratesRequestedCount) {
+  EXPECT_EQ(tr::AlibabaTraceGenerator(small_config(50)).generate().size(), 50U);
+}
+
+TEST(AlibabaTrace, Deterministic) {
+  const tr::AlibabaTraceGenerator gen(small_config(30));
+  const auto a = gen.generate();
+  const auto b = gen.generate();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].memory.samples(), b[i].memory.samples());
+    ASSERT_EQ(a[i].memory_bw.samples(), b[i].memory_bw.samples());
+    ASSERT_EQ(a[i].disk_bw.samples(), b[i].disk_bw.samples());
+    ASSERT_EQ(a[i].net_bw.samples(), b[i].net_bw.samples());
+  }
+}
+
+TEST(AlibabaTrace, AllSeriesSameLengthAndBounded) {
+  const auto containers = tr::AlibabaTraceGenerator(small_config(100)).generate();
+  for (const auto& c : containers) {
+    ASSERT_EQ(c.memory.size(), c.memory_bw.size());
+    ASSERT_EQ(c.memory.size(), c.disk_bw.size());
+    ASSERT_EQ(c.memory.size(), c.net_bw.size());
+    for (const auto* series : {&c.memory, &c.memory_bw, &c.disk_bw, &c.net_bw}) {
+      for (const float v : series->samples()) {
+        ASSERT_GE(v, 0.0F);
+        ASSERT_LE(v, 1.0F);
+      }
+    }
+  }
+}
+
+TEST(AlibabaTrace, MemoryUsageIsHigh) {
+  // §3.2.2 / Fig. 9: JVM services pre-allocate heap; usage sits high, so
+  // even 10% "usage-based" deflation appears to underallocate most of the
+  // time.
+  const auto containers = tr::AlibabaTraceGenerator(small_config(200)).generate();
+  std::vector<double> above;
+  for (const auto& c : containers) above.push_back(c.memory.fraction_above(0.9));
+  EXPECT_GT(deflate::util::quantile(above, 0.5), 0.5);
+}
+
+TEST(AlibabaTrace, MemoryBandwidthIsTiny) {
+  // Fig. 10: mean bandwidth utilization below 0.1%, max around 1%.
+  const auto containers = tr::AlibabaTraceGenerator(small_config(200)).generate();
+  deflate::util::RunningStats stats;
+  for (const auto& c : containers) {
+    for (const float v : c.memory_bw.samples()) stats.push(v);
+  }
+  EXPECT_LT(stats.mean(), 0.001);
+  EXPECT_LE(stats.max(), 0.015);
+}
+
+TEST(AlibabaTrace, DiskRarelyAboveHalf) {
+  // Fig. 11: under 50% disk deflation, containers are underallocated < 1%
+  // of the time.
+  const auto containers = tr::AlibabaTraceGenerator(small_config(200)).generate();
+  deflate::util::RunningStats above;
+  for (const auto& c : containers) above.push(c.disk_bw.fraction_above(0.5));
+  EXPECT_LT(above.mean(), 0.01);
+}
+
+TEST(AlibabaTrace, NetworkRarelyAboveThirtyPercent) {
+  // Fig. 12: at 70% deflation (threshold 0.3), ~1% of lifetime is above.
+  const auto containers = tr::AlibabaTraceGenerator(small_config(200)).generate();
+  deflate::util::RunningStats above;
+  for (const auto& c : containers) above.push(c.net_bw.fraction_above(0.3));
+  EXPECT_LT(above.mean(), 0.03);
+  // Below 50% deflation the impact is near zero.
+  deflate::util::RunningStats above_half;
+  for (const auto& c : containers) above_half.push(c.net_bw.fraction_above(0.5));
+  EXPECT_LT(above_half.mean(), 0.005);
+}

@@ -1,0 +1,78 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/azure.hpp"
+
+namespace tr = deflate::trace;
+
+namespace {
+
+std::vector<tr::VmRecord> sample_trace(std::size_t n = 25) {
+  tr::AzureTraceConfig config;
+  config.vm_count = n;
+  config.seed = 11;
+  config.duration = deflate::sim::SimTime::from_hours(24);
+  return tr::AzureTraceGenerator(config).generate();
+}
+
+}  // namespace
+
+TEST(TraceIo, StreamRoundTripPreservesEverything) {
+  const auto original = sample_trace();
+  std::stringstream stream;
+  tr::write_trace_csv(stream, original);
+  const auto loaded = tr::read_trace_csv(stream);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].workload, original[i].workload);
+    EXPECT_EQ(loaded[i].vcpus, original[i].vcpus);
+    EXPECT_DOUBLE_EQ(loaded[i].memory_mib, original[i].memory_mib);
+    EXPECT_EQ(loaded[i].start.micros(), original[i].start.micros());
+    EXPECT_EQ(loaded[i].end.micros(), original[i].end.micros());
+    ASSERT_EQ(loaded[i].cpu.size(), original[i].cpu.size());
+    for (std::size_t k = 0; k < original[i].cpu.size(); ++k) {
+      ASSERT_NEAR(loaded[i].cpu.at(k), original[i].cpu.at(k), 1e-6);
+    }
+  }
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream stream;
+  tr::write_trace_csv(stream, {});
+  EXPECT_TRUE(tr::read_trace_csv(stream).empty());
+}
+
+TEST(TraceIo, MalformedRowThrows) {
+  std::stringstream stream("id,class\n1,interactive\n");
+  EXPECT_THROW(tr::read_trace_csv(stream), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto original = sample_trace(10);
+  const std::string path = "/tmp/deflate_test_trace.csv";
+  tr::save_trace(path, original);
+  const auto loaded = tr::load_trace(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(tr::load_trace("/nonexistent/path/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceIo, UnknownClassTokenMapsToUnknown) {
+  std::stringstream stream(
+      "id,class,vcpus,memory_mib,disk_bw_mbps,net_bw_mbps,start_us,end_us,"
+      "cpu_series\n"
+      "3,garbage,2,4096,100,1000,0,600000000,0.5;0.6\n");
+  const auto records = tr::read_trace_csv(stream);
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].workload, deflate::hv::WorkloadClass::Unknown);
+  EXPECT_EQ(records[0].cpu.size(), 2U);
+}

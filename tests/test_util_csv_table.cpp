@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace du = deflate::util;
+
+TEST(Csv, WritesSimpleRow) {
+  std::ostringstream out;
+  du::CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  du::CsvWriter writer(out);
+  writer.write_row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Csv, RoundTripsRows) {
+  std::stringstream stream;
+  du::CsvWriter writer(stream);
+  writer.write_row({"x", "1,2", "he said \"hi\"", ""});
+  writer.write_row({"second", "row", "", "4"});
+
+  du::CsvReader reader(stream);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"x", "1,2", "he said \"hi\"", ""}));
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"second", "row", "", "4"}));
+  EXPECT_FALSE(reader.read_row(row));
+}
+
+TEST(Csv, ReadsCrLfLines) {
+  std::stringstream stream("a,b\r\nc,d\r\n");
+  du::CsvReader reader(stream);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(Csv, ReadsLastLineWithoutNewline) {
+  std::stringstream stream("a,b");
+  du::CsvReader reader(stream);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(reader.read_row(row));
+}
+
+TEST(Csv, WriteRowDoubles) {
+  std::ostringstream out;
+  du::CsvWriter writer(out);
+  writer.write_row_doubles({1.5, 2.0, 3.25});
+  EXPECT_EQ(out.str(), "1.5,2,3.25\n");
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  du::Table table({"name", "value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-name", "2"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, AddRowDoublesFormats) {
+  du::Table table({"a", "b"});
+  table.add_row_doubles({1.23456, 2.0}, 2);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_NE(out.str().find("2.00"), std::string::npos);
+}
+
+TEST(Table, LabeledRow) {
+  du::Table table({"policy", "x", "y"});
+  table.add_row_labeled("proportional", {0.5, 0.25}, 3);
+  EXPECT_EQ(table.rows(), 1U);
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("proportional"), std::string::npos);
+}
+
+TEST(Table, FormatDoubleHandlesNan) {
+  EXPECT_EQ(du::format_double(std::nan(""), 2), "-");
+  EXPECT_EQ(du::format_double(1.005, 2), "1.00");  // fixed precision
+}
+
+TEST(Table, ShortRowsArePadded) {
+  du::Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  std::ostringstream out;
+  table.print(out);  // must not crash; row padded to header width
+  EXPECT_EQ(table.rows(), 1U);
+}

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "hypervisor/host.hpp"
+#include "hypervisor/vm.hpp"
+
+namespace hv = deflate::hv;
+namespace res = deflate::res;
+
+namespace {
+
+hv::VmSpec make_spec(std::uint64_t id, int vcpus = 4, double mem = 8192.0,
+                     bool deflatable = true, double priority = 0.5) {
+  hv::VmSpec spec;
+  spec.id = id;
+  spec.name = "vm-" + std::to_string(id);
+  spec.vcpus = vcpus;
+  spec.memory_mib = mem;
+  spec.disk_bw_mbps = 100.0;
+  spec.net_bw_mbps = 1000.0;
+  spec.deflatable = deflatable;
+  spec.priority = priority;
+  return spec;
+}
+
+}  // namespace
+
+TEST(VmSpec, VectorReflectsSpec) {
+  const auto spec = make_spec(1, 8, 16384.0);
+  const auto v = spec.vector();
+  EXPECT_DOUBLE_EQ(v.cpu(), 8.0);
+  EXPECT_DOUBLE_EQ(v.memory(), 16384.0);
+  EXPECT_DOUBLE_EQ(v.disk_bw(), 100.0);
+  EXPECT_DOUBLE_EQ(v.net_bw(), 1000.0);
+}
+
+TEST(VmSpec, MinVectorScalesByFraction) {
+  auto spec = make_spec(1, 8, 16384.0);
+  spec.min_fraction = 0.25;
+  EXPECT_DOUBLE_EQ(spec.min_vector().cpu(), 2.0);
+  EXPECT_DOUBLE_EQ(spec.min_vector().memory(), 4096.0);
+}
+
+TEST(Vm, StartsUndeflated) {
+  hv::Vm vm(make_spec(1));
+  EXPECT_EQ(vm.effective_allocation(), vm.spec().vector());
+  EXPECT_DOUBLE_EQ(vm.max_deflation_fraction(), 0.0);
+  EXPECT_EQ(vm.state(), hv::VmState::Running);
+}
+
+TEST(Vm, CpuQuotaDeflatesEffectiveAllocation) {
+  hv::Vm vm(make_spec(1, 4));
+  vm.set_cpu_quota(1.5);
+  EXPECT_DOUBLE_EQ(vm.effective_allocation().cpu(), 1.5);
+  EXPECT_DOUBLE_EQ(vm.deflation_fraction(res::Resource::Cpu), 1.0 - 1.5 / 4.0);
+  // Guest still sees all vCPUs (transparent).
+  EXPECT_EQ(vm.guest().vcpus(), 4);
+}
+
+TEST(Vm, CgroupsClampToSpec) {
+  hv::Vm vm(make_spec(1, 4, 8192.0));
+  vm.set_cpu_quota(100.0);
+  vm.set_memory_limit(1e9);
+  vm.set_disk_throttle(-5.0);
+  EXPECT_DOUBLE_EQ(vm.cgroups().cpu_quota_cores, 4.0);
+  EXPECT_DOUBLE_EQ(vm.cgroups().memory_limit_mib, 8192.0);
+  EXPECT_DOUBLE_EQ(vm.cgroups().disk_bw_mbps, 0.0);
+}
+
+TEST(Vm, EffectiveIsMinOfPluggedAndLimit) {
+  hv::Vm vm(make_spec(1, 8, 16384.0));
+  vm.guest().request_vcpus(4, 8);          // explicit: 4 plugged
+  vm.set_cpu_quota(6.0);                   // limit above plugged
+  EXPECT_DOUBLE_EQ(vm.effective_allocation().cpu(), 4.0);
+  vm.set_cpu_quota(2.0);                   // limit below plugged
+  EXPECT_DOUBLE_EQ(vm.effective_allocation().cpu(), 2.0);
+}
+
+TEST(Vm, MemorySwapPressureTracksLimit) {
+  hv::Vm vm(make_spec(1, 4, 16384.0));
+  vm.guest().set_rss(9216.0);
+  vm.set_memory_limit(16384.0);
+  EXPECT_DOUBLE_EQ(vm.memory_swap_pressure(), 0.0);
+  vm.set_memory_limit(8192.0);
+  EXPECT_GT(vm.memory_swap_pressure(), 0.0);
+}
+
+TEST(Vm, AllocationFloorRespectsMinFraction) {
+  auto spec = make_spec(1, 4, 8192.0);
+  spec.min_fraction = 0.5;
+  hv::Vm vm(spec);
+  const auto floor = vm.allocation_floor();
+  EXPECT_DOUBLE_EQ(floor.cpu(), 2.0);
+  EXPECT_DOUBLE_EQ(floor.memory(), 4096.0);
+}
+
+TEST(Vm, SurvivalFloorWithoutMinFraction) {
+  hv::Vm vm(make_spec(1, 4, 8192.0));
+  const auto floor = vm.allocation_floor();
+  EXPECT_DOUBLE_EQ(floor.cpu(), 0.05);
+  EXPECT_DOUBLE_EQ(floor.memory(), hv::kMemoryBlockMib);
+}
+
+TEST(Host, AddAndRemoveVms) {
+  hv::Host host(0, {48.0, 131072.0, 4000.0, 40000.0});
+  host.add_vm(make_spec(1));
+  host.add_vm(make_spec(2));
+  EXPECT_EQ(host.vm_count(), 2U);
+  EXPECT_NE(host.find_vm(1), nullptr);
+  EXPECT_TRUE(host.remove_vm(1));
+  EXPECT_FALSE(host.remove_vm(1));
+  EXPECT_EQ(host.find_vm(1), nullptr);
+  EXPECT_EQ(host.vm_count(), 1U);
+}
+
+TEST(Host, DuplicateIdThrows) {
+  hv::Host host(0, {48.0, 131072.0, 4000.0, 40000.0});
+  host.add_vm(make_spec(7));
+  EXPECT_THROW(host.add_vm(make_spec(7)), std::invalid_argument);
+}
+
+TEST(Host, VmsIterateInArrivalOrder) {
+  hv::Host host(0, {48.0, 131072.0, 4000.0, 40000.0});
+  host.add_vm(make_spec(5));
+  host.add_vm(make_spec(2));
+  host.add_vm(make_spec(9));
+  const auto vms = host.vms();
+  ASSERT_EQ(vms.size(), 3U);
+  EXPECT_EQ(vms[0]->spec().id, 5U);
+  EXPECT_EQ(vms[1]->spec().id, 2U);
+  EXPECT_EQ(vms[2]->spec().id, 9U);
+}
+
+TEST(Host, CommittedAllocatedAvailable) {
+  hv::Host host(0, {48.0, 131072.0, 4000.0, 40000.0});
+  host.add_vm(make_spec(1, 8, 16384.0));
+  hv::Vm& vm2 = host.add_vm(make_spec(2, 8, 16384.0));
+  EXPECT_DOUBLE_EQ(host.committed().cpu(), 16.0);
+  EXPECT_DOUBLE_EQ(host.allocated().cpu(), 16.0);
+  EXPECT_DOUBLE_EQ(host.available().cpu(), 32.0);
+
+  vm2.set_cpu_quota(2.0);  // deflate vm2's CPU by 6 cores
+  EXPECT_DOUBLE_EQ(host.committed().cpu(), 16.0);  // commitments unchanged
+  EXPECT_DOUBLE_EQ(host.allocated().cpu(), 10.0);
+  EXPECT_DOUBLE_EQ(host.available().cpu(), 38.0);
+}
+
+TEST(Host, DeflatableHeadroomExcludesOnDemand) {
+  hv::Host host(0, {48.0, 131072.0, 4000.0, 40000.0});
+  host.add_vm(make_spec(1, 8, 16384.0, /*deflatable=*/false));
+  host.add_vm(make_spec(2, 8, 16384.0, /*deflatable=*/true));
+  const auto headroom = host.deflatable_headroom();
+  // Only VM 2 contributes: 8 cores minus its 0.05-core survival floor.
+  EXPECT_NEAR(headroom.cpu(), 8.0 - 0.05, 1e-9);
+  EXPECT_NEAR(headroom.memory(), 16384.0 - hv::kMemoryBlockMib, 1e-9);
+}
+
+TEST(Host, OvercommitRatio) {
+  hv::Host host(0, {48.0, 131072.0, 4000.0, 40000.0});
+  EXPECT_DOUBLE_EQ(host.overcommit_ratio(), 0.0);
+  for (int i = 0; i < 9; ++i) host.add_vm(make_spec(100 + i, 8, 8192.0));
+  // 72 cores committed on 48 -> ratio 1.5 (CPU-bound).
+  EXPECT_DOUBLE_EQ(host.overcommit_ratio(), 1.5);
+}
+
+TEST(WorkloadClassNames, Distinct) {
+  EXPECT_STREQ(hv::workload_class_name(hv::WorkloadClass::Interactive),
+               "interactive");
+  EXPECT_STREQ(hv::workload_class_name(hv::WorkloadClass::DelayInsensitive),
+               "delay-insensitive");
+  EXPECT_STREQ(hv::workload_class_name(hv::WorkloadClass::Unknown), "unknown");
+}

@@ -1,0 +1,145 @@
+#include "cluster/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wire = deflate::cluster::wire;
+namespace res = deflate::res;
+
+TEST(WireCodec, FieldRoundTrip) {
+  const std::map<std::string, std::string> fields{
+      {"a", "1"}, {"weird", "x=y&z%"}, {"empty", ""}};
+  const auto decoded = wire::decode_fields(wire::encode_fields(fields));
+  EXPECT_EQ(decoded, fields);
+}
+
+TEST(WireCodec, VectorRoundTrip) {
+  const res::ResourceVector v(4.5, 8192.0, 120.25, 990.0);
+  const auto decoded = wire::decode_vector(wire::encode_vector(v));
+  ASSERT_TRUE(decoded.has_value());
+  for (const auto r : res::all_resources) {
+    EXPECT_DOUBLE_EQ((*decoded)[r], v[r]);
+  }
+}
+
+TEST(WireCodec, VectorRejectsGarbage) {
+  EXPECT_FALSE(wire::decode_vector("1,2,3").has_value());
+  EXPECT_FALSE(wire::decode_vector("a,b,c,d").has_value());
+  EXPECT_FALSE(wire::decode_vector("").has_value());
+}
+
+TEST(WireMessages, PlaceRequestRoundTrip) {
+  wire::PlaceRequest request;
+  request.vm_id = 42;
+  request.demand = {8.0, 16384.0, 0.0, 0.0};
+  request.priority = 0.4;
+  request.deflatable = true;
+  const auto decoded = wire::PlaceRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->vm_id, 42U);
+  EXPECT_EQ(decoded->demand, request.demand);
+  EXPECT_DOUBLE_EQ(decoded->priority, 0.4);
+  EXPECT_TRUE(decoded->deflatable);
+}
+
+TEST(WireMessages, PlaceResponseRoundTrip) {
+  wire::PlaceResponse response;
+  response.vm_id = 7;
+  response.accepted = true;
+  response.host_id = 3;
+  response.launch_fraction = 0.85;
+  const auto decoded = wire::PlaceResponse::decode(response.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->accepted);
+  EXPECT_EQ(decoded->host_id, 3U);
+  EXPECT_NEAR(decoded->launch_fraction, 0.85, 1e-9);
+}
+
+TEST(WireMessages, DeflateCommandRoundTrip) {
+  wire::DeflateCommand command;
+  command.vm_id = 9;
+  command.target = {2.0, 4096.0, 50.0, 500.0};
+  const auto decoded = wire::DeflateCommand::decode(command.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->target, command.target);
+}
+
+TEST(WireMessages, DeflationNoticeRoundTrip) {
+  wire::DeflationNotice notice;
+  notice.vm_id = 5;
+  notice.old_alloc = {8.0, 16384.0, 200.0, 2000.0};
+  notice.new_alloc = {4.0, 8192.0, 100.0, 1000.0};
+  const auto decoded = wire::DeflationNotice::decode(notice.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->old_alloc, notice.old_alloc);
+  EXPECT_EQ(decoded->new_alloc, notice.new_alloc);
+}
+
+TEST(WireMessages, UtilizationReportRoundTrip) {
+  wire::UtilizationReport report;
+  report.host_id = 11;
+  report.available = {10.0, 20000.0, 0.0, 0.0};
+  report.committed = {38.0, 111072.0, 0.0, 0.0};
+  report.overcommit_ratio = 1.25;
+  const auto decoded = wire::UtilizationReport::decode(report.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->available, report.available);
+  EXPECT_NEAR(decoded->overcommit_ratio, 1.25, 1e-9);
+}
+
+TEST(WireMessages, CrossTypeDecodeFails) {
+  wire::PlaceRequest request;
+  request.vm_id = 1;
+  EXPECT_FALSE(wire::PlaceResponse::decode(request.encode()).has_value());
+  EXPECT_FALSE(wire::DeflateCommand::decode(request.encode()).has_value());
+  EXPECT_FALSE(wire::DeflationNotice::decode("not-a-message").has_value());
+}
+
+TEST(MessageBus, DeliversToSubscribersInOrder) {
+  wire::MessageBus bus;
+  std::vector<std::string> log;
+  bus.subscribe("vms", [&](const std::string& m) { log.push_back("a:" + m); });
+  bus.subscribe("vms", [&](const std::string& m) { log.push_back("b:" + m); });
+  EXPECT_EQ(bus.publish("vms", "x"), 2U);
+  ASSERT_EQ(log.size(), 2U);
+  EXPECT_EQ(log[0], "a:x");
+  EXPECT_EQ(log[1], "b:x");
+}
+
+TEST(MessageBus, TopicsAreIsolated) {
+  wire::MessageBus bus;
+  int vms = 0, other = 0;
+  bus.subscribe("vms", [&](const std::string&) { ++vms; });
+  bus.subscribe("util", [&](const std::string&) { ++other; });
+  bus.publish("vms", "m");
+  EXPECT_EQ(vms, 1);
+  EXPECT_EQ(other, 0);
+  EXPECT_EQ(bus.publish("unknown-topic", "m"), 0U);
+  EXPECT_EQ(bus.messages_published(), 2U);
+}
+
+TEST(MessageBus, EndToEndPlacementConversation) {
+  // Manager encodes a request, "server" decodes, answers; manager decodes.
+  wire::MessageBus bus;
+  std::string response_line;
+  bus.subscribe("server-0/vms", [&](const std::string& line) {
+    const auto request = wire::PlaceRequest::decode(line);
+    ASSERT_TRUE(request.has_value());
+    wire::PlaceResponse response;
+    response.vm_id = request->vm_id;
+    response.accepted = request->demand.cpu() <= 48.0;
+    response.host_id = 0;
+    bus.publish("manager/responses", response.encode());
+  });
+  bus.subscribe("manager/responses",
+                [&](const std::string& line) { response_line = line; });
+
+  wire::PlaceRequest request;
+  request.vm_id = 77;
+  request.demand = {8.0, 16384.0, 0.0, 0.0};
+  bus.publish("server-0/vms", request.encode());
+
+  const auto response = wire::PlaceResponse::decode(response_line);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->vm_id, 77U);
+  EXPECT_TRUE(response->accepted);
+}

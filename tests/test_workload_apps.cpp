@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "workloads/load_balancer.hpp"
+#include "workloads/microservice.hpp"
+#include "workloads/wikipedia.hpp"
+
+namespace wl = deflate::wl;
+
+namespace {
+
+wl::WikipediaConfig fast_wiki() {
+  wl::WikipediaConfig config;
+  config.request_rate = 200.0;  // lighter than the paper for test speed
+  config.duration = deflate::sim::SimTime::from_seconds(60);
+  config.warmup = deflate::sim::SimTime::from_seconds(5);
+  return config;
+}
+
+wl::MicroserviceConfig fast_social() {
+  // Keep the paper's 500 req/s (the cliff location depends on it); shorten
+  // the run for test speed.
+  wl::MicroserviceConfig config;
+  config.duration = deflate::sim::SimTime::from_seconds(40);
+  config.warmup = deflate::sim::SimTime::from_seconds(5);
+  config.timeout_s = 30.0;
+  return config;
+}
+
+wl::LbConfig fast_lb() {
+  wl::LbConfig config;
+  config.duration = deflate::sim::SimTime::from_seconds(60);
+  config.warmup = deflate::sim::SimTime::from_seconds(5);
+  return config;
+}
+
+}  // namespace
+
+TEST(Wikipedia, ServesEverythingUndeflated) {
+  const wl::WikipediaApp app(fast_wiki());
+  const auto result = app.run(0.0);
+  EXPECT_GT(result.requests, 1000U);
+  EXPECT_GT(result.served_fraction, 0.99);
+  EXPECT_GT(result.latency.mean, 0.1);   // overhead floor
+  EXPECT_LT(result.latency.mean, 1.0);
+}
+
+TEST(Wikipedia, DeterministicForFixedSeed) {
+  const wl::WikipediaApp app(fast_wiki());
+  const auto a = app.run(0.3);
+  const auto b = app.run(0.3);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_DOUBLE_EQ(a.latency.mean, b.latency.mean);
+  EXPECT_DOUBLE_EQ(a.served_fraction, b.served_fraction);
+}
+
+TEST(Wikipedia, ModerateDeflationIsFree) {
+  const wl::WikipediaApp app(fast_wiki());
+  const auto base = app.run(0.0);
+  const auto deflated = app.run(0.5);
+  // §7.2: up to ~70% CPU deflation barely moves response times.
+  EXPECT_LT(deflated.latency.mean, base.latency.mean * 1.5);
+  EXPECT_GT(deflated.served_fraction, 0.98);
+}
+
+TEST(Wikipedia, DeepDeflationDegrades) {
+  const wl::WikipediaApp app(fast_wiki());
+  const auto base = app.run(0.0);
+  const auto deep = app.run(0.97);
+  EXPECT_GT(deep.latency.p90, base.latency.p90);
+  EXPECT_LT(deep.served_fraction, 0.9);
+}
+
+TEST(Wikipedia, UtilizationGrowsWithDeflation) {
+  const wl::WikipediaApp app(fast_wiki());
+  const auto low = app.run(0.0);
+  const auto high = app.run(0.6);
+  EXPECT_GT(high.cpu_utilization, low.cpu_utilization);
+  EXPECT_LE(high.cpu_utilization, 1.0 + 1e-9);
+}
+
+TEST(Microservice, HealthyWhenUndeflated) {
+  const wl::MicroserviceApp app(fast_social());
+  const auto result = app.run(0.0);
+  EXPECT_GT(result.requests, 1000U);
+  EXPECT_GT(result.served_fraction, 0.99);
+  EXPECT_LT(result.latency.p50, 0.5);
+}
+
+TEST(Microservice, FiftyPercentDeflationTolerated) {
+  const wl::MicroserviceApp app(fast_social());
+  const auto base = app.run(0.0);
+  const auto mid = app.run(0.5);
+  // §7.2: "the service can be deflated by up to 50% with no performance
+  // losses" — allow a small factor for queueing noise.
+  EXPECT_LT(mid.latency.p50, base.latency.p50 * 3.0);
+  EXPECT_GT(mid.served_fraction, 0.97);
+}
+
+TEST(Microservice, AbruptDegradationPastSixtyPercent) {
+  const wl::MicroserviceApp app(fast_social());
+  const auto mid = app.run(0.5);
+  const auto deep = app.run(0.65);
+  EXPECT_GT(deep.latency.p90, mid.latency.p90 * 5.0);
+}
+
+TEST(Microservice, DatabasesNeverDeflated) {
+  // Even at 100% logical deflation the floor keeps services alive, and DBs
+  // run at full capacity -- the run must complete without crashing.
+  wl::MicroserviceConfig config = fast_social();
+  config.duration = deflate::sim::SimTime::from_seconds(10);
+  const wl::MicroserviceApp app(config);
+  const auto result = app.run(0.9);
+  EXPECT_GT(result.requests, 0U);
+}
+
+TEST(SmoothWrr, EqualWeightsRoundRobin) {
+  wl::SmoothWrr wrr({1.0, 1.0, 1.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 300; ++i) ++counts[wrr.pick()];
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 100);
+}
+
+TEST(SmoothWrr, ProportionalToWeights) {
+  wl::SmoothWrr wrr({3.0, 1.0});
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 400; ++i) ++counts[wrr.pick()];
+  EXPECT_EQ(counts[0], 300);
+  EXPECT_EQ(counts[1], 100);
+}
+
+TEST(SmoothWrr, SmoothInterleaving) {
+  wl::SmoothWrr wrr({2.0, 1.0});
+  // Smooth WRR must not serve the heavy backend in one burst: pattern is
+  // a b a, a b a, ...
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(wrr.pick());
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 0, 0, 1, 0}));
+}
+
+TEST(SmoothWrr, ZeroWeightBackendSkipped) {
+  wl::SmoothWrr wrr({1.0, 0.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(wrr.pick(), 0U);
+}
+
+TEST(SmoothWrr, AllZeroFallsBackToUniform) {
+  wl::SmoothWrr wrr({0.0, 0.0});
+  std::vector<int> counts(2, 0);
+  for (int i = 0; i < 10; ++i) ++counts[wrr.pick()];
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(SmoothWrr, RejectsEmpty) {
+  EXPECT_THROW(wl::SmoothWrr({}), std::invalid_argument);
+}
+
+TEST(LoadBalancer, NoDeflationBothPoliciesEquivalent) {
+  const wl::LbExperiment experiment(fast_lb());
+  const auto vanilla = experiment.run(0.0, false);
+  const auto aware = experiment.run(0.0, true);
+  // With equal capacities the aware weights are uniform too.
+  EXPECT_NEAR(vanilla.latency.mean, aware.latency.mean,
+              vanilla.latency.mean * 0.3);
+}
+
+TEST(LoadBalancer, AwarePolicyWinsAtHighDeflation) {
+  const wl::LbExperiment experiment(fast_lb());
+  const auto vanilla = experiment.run(0.7, false);
+  const auto aware = experiment.run(0.7, true);
+  // §7.3: 15-40% lower tail latency at high deflation.
+  EXPECT_LT(aware.latency.p90, vanilla.latency.p90);
+  EXPECT_GE(aware.served_fraction, vanilla.served_fraction - 1e-9);
+}

@@ -1,0 +1,243 @@
+// deflatectl — command-line driver for the deflate library.
+//
+//   deflatectl trace generate --vms 10000 --hours 72 --seed 7 --out t.csv
+//   deflatectl trace stats --in t.csv [--deflation 0.5]
+//   deflatectl simulate --in t.csv --overcommit 0.5 --policy proportional
+//               [--mode deflation|preemption] [--mechanism hybrid|...]
+//               [--placement fitness|first-fit|best-fit|worst-fit]
+//               [--partitioned] [--no-reinflate]
+//   deflatectl feasibility --in t.csv
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/feasibility.hpp"
+#include "simcluster/cluster_sim.hpp"
+#include "trace/azure.hpp"
+#include "trace/trace_io.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace deflate;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.count(key) > 0;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";  // boolean flag
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  deflatectl trace generate --vms N --hours H --seed S --out FILE\n"
+      "  deflatectl trace stats --in FILE [--deflation D]\n"
+      "  deflatectl simulate --in FILE --overcommit O [--policy P] [--mode M]\n"
+      "             [--mechanism K] [--placement S] [--partitioned]\n"
+      "             [--no-reinflate] [--servers N]\n"
+      "  deflatectl feasibility --in FILE\n";
+  return 1;
+}
+
+std::optional<core::PolicyKind> parse_policy(const std::string& name) {
+  if (name == "proportional") return core::PolicyKind::Proportional;
+  if (name == "priority") return core::PolicyKind::Priority;
+  if (name == "priority-nomin") return core::PolicyKind::PriorityNoMin;
+  if (name == "deterministic") return core::PolicyKind::Deterministic;
+  return std::nullopt;
+}
+
+std::optional<mech::MechanismKind> parse_mechanism(const std::string& name) {
+  if (name == "hybrid") return mech::MechanismKind::Hybrid;
+  if (name == "transparent") return mech::MechanismKind::Transparent;
+  if (name == "explicit") return mech::MechanismKind::Explicit;
+  if (name == "balloon") return mech::MechanismKind::Balloon;
+  return std::nullopt;
+}
+
+std::optional<cluster::PlacementStrategy> parse_placement(
+    const std::string& name) {
+  if (name == "fitness") return cluster::PlacementStrategy::Fitness;
+  if (name == "first-fit") return cluster::PlacementStrategy::FirstFit;
+  if (name == "best-fit") return cluster::PlacementStrategy::BestFit;
+  if (name == "worst-fit") return cluster::PlacementStrategy::WorstFit;
+  return std::nullopt;
+}
+
+int cmd_trace_generate(const Args& args) {
+  trace::AzureTraceConfig config;
+  config.vm_count = static_cast<std::size_t>(args.get_double("vms", 10000));
+  config.seed = static_cast<std::uint64_t>(args.get_double("seed", 42));
+  config.duration = sim::SimTime::from_hours(args.get_double("hours", 72));
+  config.interactive_share = args.get_double("interactive-share", 0.5);
+  const std::string out = args.get("out", "");
+  if (out.empty()) return usage();
+
+  const auto records = trace::AzureTraceGenerator(config).generate();
+  trace::save_trace(out, records);
+  std::cout << "wrote " << records.size() << " VMs to " << out << "\n";
+  return 0;
+}
+
+int cmd_trace_stats(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) return usage();
+  const auto records = trace::load_trace(in);
+
+  std::size_t interactive = 0, batch = 0, unknown = 0;
+  double core_hours = 0.0;
+  for (const auto& record : records) {
+    switch (record.workload) {
+      case hv::WorkloadClass::Interactive: ++interactive; break;
+      case hv::WorkloadClass::DelayInsensitive: ++batch; break;
+      case hv::WorkloadClass::Unknown: ++unknown; break;
+    }
+    core_hours += record.vcpus * record.lifetime().hours();
+  }
+  const auto peak = simcluster::TraceDrivenSimulator::peak_committed(records);
+  std::cout << "VMs: " << records.size() << " (interactive " << interactive
+            << ", delay-insensitive " << batch << ", unknown " << unknown
+            << ")\n"
+            << "committed core-hours: " << core_hours << "\n"
+            << "peak committed: " << peak << "\n";
+
+  const double deflation = args.get_double("deflation", 0.5);
+  const auto box = analysis::cpu_underallocation_box(records, deflation);
+  std::cout << "time above " << 100 * (1 - deflation)
+            << "% allocation (i.e. " << 100 * deflation
+            << "% deflation): median " << 100 * box.median << "%, q3 "
+            << 100 * box.q3 << "%\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) return usage();
+  const auto records = trace::load_trace(in);
+
+  simcluster::SimConfig config;
+  const auto policy = parse_policy(args.get("policy", "proportional"));
+  const auto mechanism = parse_mechanism(args.get("mechanism", "hybrid"));
+  const auto placement = parse_placement(args.get("placement", "fitness"));
+  if (!policy || !mechanism || !placement) return usage();
+  config.policy = *policy;
+  config.mechanism = *mechanism;
+  config.placement = *placement;
+  config.mode = args.get("mode", "deflation") == "preemption"
+                    ? cluster::ReclamationMode::Preemption
+                    : cluster::ReclamationMode::Deflation;
+  config.partitioned = args.has("partitioned");
+  config.reinflate_on_departure = !args.has("no-reinflate");
+
+  const double overcommit = args.get_double("overcommit", 0.0);
+  if (args.has("servers")) {
+    config.server_count = static_cast<std::size_t>(args.get_double("servers", 40));
+  } else {
+    const std::size_t baseline =
+        simcluster::TraceDrivenSimulator::minimum_feasible_servers(records,
+                                                                   config);
+    config.server_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(static_cast<double>(baseline) / (1.0 + overcommit))));
+    std::cout << "baseline " << baseline << " servers -> "
+              << config.server_count << " at " << 100 * overcommit
+              << "% overcommitment\n";
+  }
+
+  simcluster::TraceDrivenSimulator simulator(records, config);
+  const auto metrics = simulator.run();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"policy", core::policy_kind_name(config.policy)});
+  table.add_row({"mechanism", mech::mechanism_kind_name(config.mechanism)});
+  table.add_row({"achieved overcommit",
+                 util::format_double(100 * metrics.achieved_overcommit, 1) + "%"});
+  table.add_row({"failure probability",
+                 util::format_double(100 * metrics.failure_probability, 3) + "%"});
+  table.add_row({"preemption probability",
+                 util::format_double(100 * metrics.preemption_probability, 3) + "%"});
+  table.add_row({"throughput loss",
+                 util::format_double(100 * metrics.throughput_loss, 3) + "%"});
+  table.add_row({"mean cpu deflation",
+                 util::format_double(100 * metrics.mean_cpu_deflation, 2) + "%"});
+  table.add_row({"rejections", std::to_string(metrics.rejections)});
+  table.add_row({"preemptions", std::to_string(metrics.preemptions)});
+  table.add_row(
+      {"revenue (static)",
+       util::format_double(cluster::revenue_increase_percent(
+                               metrics.revenue, cluster::PricingScheme::Static),
+                           2) +
+           "% of on-demand"});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_feasibility(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) return usage();
+  const auto records = trace::load_trace(in);
+
+  util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
+  for (int d = 10; d <= 90; d += 10) {
+    const auto box = analysis::cpu_underallocation_box(records, d / 100.0);
+    table.add_row_labeled(std::to_string(d),
+                          {box.min, box.q1, box.median, box.q3, box.max});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.positional.empty()) return usage();
+  try {
+    const std::string& command = args.positional[0];
+    if (command == "trace" && args.positional.size() > 1) {
+      if (args.positional[1] == "generate") return cmd_trace_generate(args);
+      if (args.positional[1] == "stats") return cmd_trace_stats(args);
+    }
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "feasibility") return cmd_feasibility(args);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+}
