@@ -48,7 +48,11 @@ std::vector<std::size_t> ClusterManager::candidate_servers(
                                ? pool_for_priority(spec.deflatable, spec.priority,
                                                    partitions_.pool_count())
                                : 0;
-  return partitions_.pool(pool);
+  std::vector<std::size_t> candidates;
+  for (const std::size_t idx : partitions_.pool(pool)) {
+    if (nodes_[idx]->active) candidates.push_back(idx);
+  }
+  return candidates;
 }
 
 bool ClusterManager::view_feasible(const HostView& view,
@@ -162,7 +166,9 @@ PlacementResult ClusterManager::place_with_preemption(
       node.hypervisor.destroy_vm(victim_spec.id);
       vm_locations_.erase(victim_spec.id);
       ++stats_.preemptions;
-      for (const auto& callback : preemption_callbacks_) callback(victim_spec);
+      for (const auto& callback : preemption_callbacks_) {
+        callback(victim_spec, server);
+      }
     }
     refresh_view(server);
   }
@@ -230,6 +236,69 @@ PlacementResult ClusterManager::place_vm(const hv::VmSpec& spec) {
   result.needed_reclamation = true;
   result.status = PlacementResult::Status::Rejected;
   return result;
+}
+
+RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
+  RevocationOutcome outcome;
+  ServerNode& node = *nodes_.at(server);
+  if (!node.active) return outcome;
+  node.active = false;
+  ++stats_.revocations;
+
+  std::vector<hv::VmSpec> residents;
+  for (const hv::Vm* vm : node.hypervisor.host().vms()) {
+    residents.push_back(vm->spec());
+  }
+  // Migrate high-priority VMs first so scarce surviving capacity protects
+  // the most valuable ones; ties broken by id for determinism.
+  std::sort(residents.begin(), residents.end(),
+            [](const hv::VmSpec& a, const hv::VmSpec& b) {
+              if (a.priority != b.priority) return a.priority > b.priority;
+              return a.id < b.id;
+            });
+  outcome.vms_displaced = residents.size();
+
+  for (const hv::VmSpec& spec : residents) {
+    node.hypervisor.destroy_vm(spec.id);
+    vm_locations_.erase(spec.id);
+    if (config_.mode == ReclamationMode::Deflation) {
+      // Re-place at full spec; the placement path deflates the VM and/or
+      // its new neighbours as needed (possibly a deflated launch).
+      const PlacementResult placed = place_vm(spec);
+      if (placed.ok()) {
+        ++outcome.vms_migrated;
+        ++stats_.revocation_migrations;
+        for (const auto& callback : migration_callbacks_) {
+          callback(spec, server, placed.host_id, placed.launch_fraction);
+        }
+        continue;
+      }
+    } else {
+      ++stats_.preemptions;
+    }
+    ++outcome.vms_killed;
+    ++stats_.revocation_kills;
+    for (const auto& callback : preemption_callbacks_) callback(spec, server);
+  }
+  refresh_view(server);
+  for (const auto& callback : revocation_callbacks_) callback(server, outcome);
+  return outcome;
+}
+
+void ClusterManager::restore_server(std::size_t server) {
+  ServerNode& node = *nodes_.at(server);
+  if (node.active) return;
+  node.active = true;
+  ++stats_.restorations;
+  refresh_view(server);
+}
+
+std::size_t ClusterManager::active_server_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) {
+    if (node->active) ++count;
+  }
+  return count;
 }
 
 bool ClusterManager::remove_vm(std::uint64_t vm_id) {

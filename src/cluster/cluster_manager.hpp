@@ -71,12 +71,34 @@ struct ClusterStats {
   std::uint64_t deflated_launches = 0;
   std::uint64_t preemptions = 0;
   std::uint64_t rejections = 0;
+  // --- transient-market revocations (server-level reclamation) ---
+  std::uint64_t revocations = 0;           ///< servers taken away
+  std::uint64_t restorations = 0;          ///< servers handed back
+  std::uint64_t revocation_migrations = 0; ///< VMs re-placed off a revoked server
+  std::uint64_t revocation_kills = 0;      ///< VMs lost to a revocation
+};
+
+/// What happened to the VMs resident on a revoked server.
+struct RevocationOutcome {
+  std::size_t vms_displaced = 0;  ///< resident at revocation time
+  std::size_t vms_migrated = 0;   ///< re-placed on surviving servers
+  std::size_t vms_killed = 0;     ///< no surviving server could take them
 };
 
 class ClusterManager {
  public:
-  using PreemptionCallback = std::function<void(const hv::VmSpec&)>;
+  /// Preemption/revocation-kill observer; `host_id` is the server the VM
+  /// was evicted from.
+  using PreemptionCallback =
+      std::function<void(const hv::VmSpec&, std::uint64_t host_id)>;
   using DeflationCallback = core::LocalDeflationController::DeflationEvent;
+  /// Fired after a server-level revocation has been fully absorbed.
+  using RevocationCallback =
+      std::function<void(std::uint64_t host_id, const RevocationOutcome&)>;
+  /// Fired when a revocation migrates a VM to a surviving server;
+  /// `fraction` is the (possibly deflated) re-launch fraction.
+  using MigrationCallback = std::function<void(
+      const hv::VmSpec&, std::uint64_t from, std::uint64_t to, double fraction)>;
 
   explicit ClusterManager(ClusterConfig config);
 
@@ -86,6 +108,23 @@ class ClusterManager {
   /// Terminates a VM and reinflates survivors on its server. Returns false
   /// if the VM is unknown (e.g. already preempted).
   bool remove_vm(std::uint64_t vm_id);
+
+  /// Server-level revocation (transient market): the server goes offline
+  /// and stops accepting placements. In Deflation mode its VMs are
+  /// migrated to surviving servers — deflating them and the hosts they
+  /// land on as needed — and killed only when no server can absorb them;
+  /// in Preemption mode every resident VM is killed. Idempotent on an
+  /// already-revoked server.
+  RevocationOutcome revoke_server(std::size_t server);
+
+  /// The provider hands equivalent capacity back: the (empty) server
+  /// rejoins the placement pool. Lost VMs do not return.
+  void restore_server(std::size_t server);
+
+  [[nodiscard]] bool server_active(std::size_t server) const {
+    return nodes_.at(server)->active;
+  }
+  [[nodiscard]] std::size_t active_server_count() const noexcept;
 
   [[nodiscard]] std::size_t server_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] hv::Host& host(std::size_t i) { return nodes_.at(i)->hypervisor.host(); }
@@ -106,6 +145,16 @@ class ClusterManager {
   void subscribe_preemption(PreemptionCallback callback) {
     preemption_callbacks_.push_back(std::move(callback));
   }
+  void subscribe_revocation(RevocationCallback callback) {
+    revocation_callbacks_.push_back(std::move(callback));
+  }
+  void subscribe_migration(MigrationCallback callback) {
+    migration_callbacks_.push_back(std::move(callback));
+  }
+
+  [[nodiscard]] const ClusterPartitions& partitions() const noexcept {
+    return partitions_;
+  }
 
  private:
   struct ServerNode {
@@ -113,6 +162,7 @@ class ClusterManager {
     hv::SimHypervisor hypervisor;
     std::unique_ptr<core::LocalDeflationController> controller;
     HostView view;
+    bool active = true;  ///< false while revoked by the transient market
   };
 
   void refresh_view(std::size_t server);
@@ -136,6 +186,8 @@ class ClusterManager {
   std::unordered_map<std::uint64_t, std::size_t> vm_locations_;
   ClusterStats stats_;
   std::vector<PreemptionCallback> preemption_callbacks_;
+  std::vector<RevocationCallback> revocation_callbacks_;
+  std::vector<MigrationCallback> migration_callbacks_;
 };
 
 }  // namespace deflate::cluster

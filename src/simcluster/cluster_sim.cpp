@@ -8,7 +8,9 @@ namespace deflate::simcluster {
 
 namespace {
 
-cluster::ClusterConfig make_cluster_config(const SimConfig& config) {
+cluster::ClusterConfig make_cluster_config(
+    const SimConfig& config,
+    const std::optional<transient::CapacityPlan>& plan) {
   cluster::ClusterConfig out;
   out.server_count = config.server_count;
   out.server_capacity = config.server_capacity;
@@ -18,20 +20,66 @@ cluster::ClusterConfig make_cluster_config(const SimConfig& config) {
   out.placement = config.placement;
   out.reinflate_on_departure = config.reinflate_on_departure;
   out.partitioned = config.partitioned;
+  // Portfolio-driven capacity mixing: the mean-variance weights size the
+  // on-demand pool and the deflatable priority pools.
+  if (plan && config.market_enabled && config.market.use_portfolio &&
+      config.partitioned && !plan->pool_weights.empty()) {
+    out.pool_weights = plan->pool_weights;
+  }
   return out;
 }
 
+std::optional<transient::CapacityPlan> make_plan(
+    const std::vector<trace::VmRecord>& records, const SimConfig& config) {
+  if (!config.market_enabled) return std::nullopt;
+  const transient::TransientMarketEngine engine(config.market);
+  return engine.plan(config.server_count,
+                     TraceDrivenSimulator::horizon_of(records),
+                     /*deflatable_pools=*/4);
+}
+
 }  // namespace
+
+sim::SimTime TraceDrivenSimulator::horizon_of(
+    const std::vector<trace::VmRecord>& records) {
+  sim::SimTime horizon;
+  for (const trace::VmRecord& record : records) {
+    horizon = std::max(horizon, record.end);
+  }
+  return horizon;
+}
 
 TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
                                            SimConfig config)
     : records_(std::move(records)),
       config_(config),
-      manager_(make_cluster_config(config)),
+      plan_(make_plan(records_, config_)),
+      manager_(make_cluster_config(config_, plan_)),
       runtimes_(records_.size()) {
   for (std::size_t i = 0; i < records_.size(); ++i) {
     runtimes_[i].record = &records_[i];
     id_to_idx_[records_[i].id] = i;
+  }
+
+  // Partitioned market: the never-revoked set must be exactly the
+  // on-demand pool (pool 0). ClusterPartitions rounds pool sizes (one
+  // server per pool + largest remainder), so realign the plan's split with
+  // the realized pool-0 prefix and regenerate the revocation schedule
+  // (per-server keyed streams keep this deterministic).
+  if (plan_ && config_.partitioned) {
+    const std::size_t pool0 = manager_.partitions().pool(0).size();
+    if (pool0 != plan_->on_demand_servers) {
+      plan_->on_demand_servers = pool0;
+      plan_->transient_servers.clear();
+      for (std::size_t s = pool0; s < config_.server_count; ++s) {
+        plan_->transient_servers.push_back(s);
+      }
+      transient::RevocationEngine engine(config_.market.revocation,
+                                         config_.market.seed);
+      engine.set_price_trace(&plan_->prices);
+      plan_->revocations =
+          engine.schedule(plan_->transient_servers, horizon_of(records_));
+    }
   }
 
   // Track allocation changes (deflation *and* reinflation) per VM.
@@ -46,11 +94,22 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
     runtimes_[it->second].alloc_timeline.emplace_back(now_, fraction);
   });
 
-  manager_.subscribe_preemption([this](const hv::VmSpec& spec) {
+  manager_.subscribe_preemption(
+      [this](const hv::VmSpec& spec, std::uint64_t /*host*/) {
+        const auto it = id_to_idx_.find(spec.id);
+        if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
+        runtimes_[it->second].preempted = true;
+        finalize(runtimes_[it->second], now_);
+      });
+
+  // Migrations keep running through a revocation, possibly at a deflated
+  // launch fraction on the new server; extend the allocation timeline.
+  manager_.subscribe_migration([this](const hv::VmSpec& spec,
+                                      std::uint64_t /*from*/,
+                                      std::uint64_t /*to*/, double fraction) {
     const auto it = id_to_idx_.find(spec.id);
     if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
-    runtimes_[it->second].preempted = true;
-    finalize(runtimes_[it->second], now_);
+    runtimes_[it->second].alloc_timeline.emplace_back(now_, fraction);
   });
 }
 
@@ -135,31 +194,42 @@ SimMetrics TraceDrivenSimulator::run() {
   }
   ran_ = true;
 
-  // Event order: departures before arrivals at equal timestamps (frees
-  // capacity first), then by VM id for determinism.
+  // Event order at equal timestamps: departures first (frees capacity),
+  // then server restorations (adds capacity), then server revocations
+  // (arriving VMs see the reduced fleet), then arrivals; ties broken by
+  // VM id / server id for determinism.
   struct Event {
     sim::SimTime at;
-    bool is_start;
-    std::size_t idx;
+    enum class Kind { VmEnd, Restore, Revoke, VmStart } kind;
+    std::size_t idx;  ///< VM index or server id
   };
   std::vector<Event> events;
-  events.reserve(records_.size() * 2);
+  events.reserve(records_.size() * 2 +
+                 (plan_ ? plan_->revocations.size() : 0));
   for (std::size_t i = 0; i < records_.size(); ++i) {
-    events.push_back({records_[i].start, true, i});
-    events.push_back({records_[i].end, false, i});
+    events.push_back({records_[i].start, Event::Kind::VmStart, i});
+    events.push_back({records_[i].end, Event::Kind::VmEnd, i});
+  }
+  if (plan_) {
+    for (const transient::RevocationEvent& rev : plan_->revocations) {
+      events.push_back({rev.at,
+                        rev.revoke ? Event::Kind::Revoke : Event::Kind::Restore,
+                        rev.server});
+    }
   }
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.at != b.at) return a.at < b.at;
-    if (a.is_start != b.is_start) return !a.is_start;  // ends first
+    if (a.kind != b.kind) return a.kind < b.kind;
     return a.idx < b.idx;
   });
 
   for (const Event& event : events) {
     now_ = event.at;
-    if (event.is_start) {
-      on_vm_start(event.idx);
-    } else {
-      on_vm_end(event.idx);
+    switch (event.kind) {
+      case Event::Kind::VmStart: on_vm_start(event.idx); break;
+      case Event::Kind::VmEnd: on_vm_end(event.idx); break;
+      case Event::Kind::Revoke: manager_.revoke_server(event.idx); break;
+      case Event::Kind::Restore: manager_.restore_server(event.idx); break;
     }
   }
 
@@ -192,6 +262,20 @@ SimMetrics TraceDrivenSimulator::run() {
 
   metrics.throughput_loss = used_ > 0.0 ? lost_ / used_ : 0.0;
   metrics.revenue = revenue_;
+
+  metrics.revocations = stats.revocations;
+  metrics.revocation_migrations = stats.revocation_migrations;
+  metrics.revocation_kills = stats.revocation_kills;
+  if (plan_ && config_.server_count > 0) {
+    metrics.transient_server_share =
+        static_cast<double>(plan_->transient_servers.size()) /
+        static_cast<double>(config_.server_count);
+    metrics.portfolio_expected_cost = plan_->portfolio.expected_cost;
+    const transient::TransientMarketEngine engine(config_.market);
+    metrics.cost = engine.cost_report(
+        *plan_, config_.server_capacity[res::Resource::Cpu],
+        horizon_of(records_));
+  }
   metrics.mean_cpu_deflation =
       deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;
 

@@ -16,9 +16,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <optional>
+
 #include "cluster/cluster_manager.hpp"
 #include "cluster/pricing.hpp"
 #include "trace/vm_record.hpp"
+#include "transient/market.hpp"
 
 namespace deflate::simcluster {
 
@@ -31,6 +34,13 @@ struct SimConfig {
   bool partitioned = false;
   std::size_t server_count = 40;
   res::ResourceVector server_capacity{48.0, 128.0 * 1024.0, 1e9, 1e9};
+
+  // --- transient market (src/transient) ---
+  /// Enables the spot-price / revocation / portfolio layer. With
+  /// `market.revocation.model == None` and `market.use_portfolio == false`
+  /// the simulation is identical to the non-market one.
+  bool market_enabled = false;
+  transient::MarketEngineConfig market;
 };
 
 struct SimMetrics {
@@ -54,6 +64,17 @@ struct SimMetrics {
 
   // --- Fig. 22 ---
   cluster::RevenueTotals revenue;
+
+  // --- transient market ---
+  std::uint64_t revocations = 0;            ///< server-revocation events
+  std::uint64_t revocation_migrations = 0;  ///< VMs re-placed off revoked servers
+  std::uint64_t revocation_kills = 0;       ///< VMs lost to revocations
+  /// Fraction of the fleet bought on the transient market.
+  double transient_server_share = 0.0;
+  /// Fleet cost over the horizon (per-core-hour prices, on-demand = 1.0).
+  transient::CostReport cost;
+  /// Mean per-core-hour cost of the portfolio mix (1.0 = all on-demand).
+  double portfolio_expected_cost = 1.0;
 
   // --- context ---
   double achieved_overcommit = 0.0;  ///< peak committed / capacity - 1
@@ -98,6 +119,11 @@ class TraceDrivenSimulator {
   [[nodiscard]] static std::vector<trace::VmRecord> select_deflatable_subset(
       const std::vector<trace::VmRecord>& records, double core_hours);
 
+  /// Trace horizon (latest record end); the market plan and the cost
+  /// accounting bill the fleet over [0, horizon).
+  [[nodiscard]] static sim::SimTime horizon_of(
+      const std::vector<trace::VmRecord>& records);
+
  private:
   struct VmRuntime {
     const trace::VmRecord* record = nullptr;
@@ -116,6 +142,9 @@ class TraceDrivenSimulator {
 
   std::vector<trace::VmRecord> records_;
   SimConfig config_;
+  /// Market plan computed before the manager so portfolio pool weights can
+  /// shape the cluster partitions. Empty when the market is disabled.
+  std::optional<transient::CapacityPlan> plan_;
   cluster::ClusterManager manager_;
   std::vector<VmRuntime> runtimes_;
   std::unordered_map<std::uint64_t, std::size_t> id_to_idx_;

@@ -1,0 +1,117 @@
+#include "transient/market.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace deflate::transient {
+
+TransientMarketEngine::TransientMarketEngine(MarketEngineConfig config)
+    : config_(config) {}
+
+CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
+                                         sim::SimTime horizon,
+                                         std::size_t deflatable_pools) const {
+  CapacityPlan out;
+  if (server_count == 0) return out;
+
+  const SpotPriceModel price_model(config_.price, config_.seed, /*stream=*/0);
+  out.prices = price_model.generate(horizon);
+
+  RevocationEngine revocations(config_.revocation, config_.seed);
+  revocations.set_price_trace(&out.prices);
+
+  double on_demand_share = std::clamp(config_.on_demand_share, 0.0, 1.0);
+  if (config_.use_portfolio) {
+    const MarketSpec market = MarketSpec::from_observations(
+        "spot", out.prices, revocations);
+    const PortfolioManager manager(config_.portfolio);
+    out.portfolio = manager.optimize({&market, 1});
+    out.pool_weights = manager.pool_weights(out.portfolio, deflatable_pools);
+    on_demand_share = out.portfolio.on_demand_weight();
+  } else {
+    out.portfolio.weights = {on_demand_share, 1.0 - on_demand_share};
+    out.portfolio.expected_cost =
+        on_demand_share + (1.0 - on_demand_share) * out.prices.mean();
+    out.portfolio.expected_saving = 1.0 - out.portfolio.expected_cost;
+    out.pool_weights.assign(deflatable_pools + 1, 0.0);
+    out.pool_weights[0] = on_demand_share;
+    for (std::size_t k = 1; k <= deflatable_pools; ++k) {
+      out.pool_weights[k] =
+          (1.0 - on_demand_share) / static_cast<double>(deflatable_pools);
+    }
+  }
+
+  // Round the on-demand share to whole servers; a nonzero share always
+  // buys at least one on-demand server (the revocation-free floor).
+  out.on_demand_servers = static_cast<std::size_t>(
+      std::llround(on_demand_share * static_cast<double>(server_count)));
+  if (on_demand_share > 0.0 && out.on_demand_servers == 0) {
+    out.on_demand_servers = 1;
+  }
+  out.on_demand_servers = std::min(out.on_demand_servers, server_count);
+
+  out.transient_servers.clear();
+  for (std::size_t s = out.on_demand_servers; s < server_count; ++s) {
+    out.transient_servers.push_back(s);
+  }
+  out.revocations = revocations.schedule(out.transient_servers, horizon);
+  return out;
+}
+
+CostReport TransientMarketEngine::cost_report(const CapacityPlan& plan,
+                                              double cores_per_server,
+                                              sim::SimTime horizon) const {
+  CostReport report;
+  const double hours = horizon.hours();
+  if (hours <= 0.0 || cores_per_server <= 0.0) return report;
+  const double on_demand_rate = config_.price.on_demand_price;
+  const std::size_t fleet =
+      plan.on_demand_servers + plan.transient_servers.size();
+
+  report.on_demand_core_hours =
+      static_cast<double>(plan.on_demand_servers) * cores_per_server * hours;
+  report.on_demand_cost = report.on_demand_core_hours * on_demand_rate;
+  report.all_on_demand_cost =
+      static_cast<double>(fleet) * cores_per_server * hours * on_demand_rate;
+
+  // Bill each transient server's *held* intervals at the spot price: one
+  // pass over the sorted merged schedule, tracking per-server held state.
+  // Servers start held at t=0 (any bid-under-water start revokes at t=0).
+  struct HeldState {
+    sim::SimTime from;
+    bool held = true;
+  };
+  std::unordered_map<std::size_t, HeldState> states;
+  states.reserve(plan.transient_servers.size());
+  for (const std::size_t server : plan.transient_servers) states[server] = {};
+
+  const auto bill = [&](HeldState& state, sim::SimTime until) {
+    report.transient_cost +=
+        plan.prices.integral_over(state.from, until) * cores_per_server;
+    report.transient_core_hours +=
+        (until - state.from).hours() * cores_per_server;
+  };
+  for (const RevocationEvent& event : plan.revocations) {
+    const auto it = states.find(event.server);
+    if (it == states.end()) continue;
+    HeldState& state = it->second;
+    if (event.revoke && state.held) {
+      bill(state, event.at);
+      state.held = false;
+    } else if (!event.revoke && !state.held) {
+      state.from = event.at;
+      state.held = true;
+    }
+  }
+  // Iterate in server order (not map order) so the floating-point
+  // summation order — and thus the report — is bit-stable.
+  for (const std::size_t server : plan.transient_servers) {
+    HeldState& state = states[server];
+    if (state.held) bill(state, horizon);
+  }
+  return report;
+}
+
+}  // namespace deflate::transient

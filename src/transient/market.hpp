@@ -1,0 +1,100 @@
+// TransientMarketEngine: the facade that turns a plain cluster into a
+// transient one. It owns the spot-price process, the revocation engine and
+// the portfolio manager, and produces a CapacityPlan — which servers are
+// bought on-demand vs. on the transient market, the partition pool weights
+// implied by the portfolio, the revocation schedule for the transient
+// servers, and the cost accounting against an all-on-demand baseline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transient/portfolio.hpp"
+#include "transient/revocation.hpp"
+#include "transient/spot_price.hpp"
+
+namespace deflate::transient {
+
+struct MarketEngineConfig {
+  SpotPriceConfig price;
+  RevocationConfig revocation;
+  PortfolioConfig portfolio;
+  /// When true the on-demand/transient split comes from mean-variance
+  /// optimization; when false, from `on_demand_share` directly.
+  bool use_portfolio = true;
+  /// Fixed on-demand share when the portfolio optimizer is disabled.
+  double on_demand_share = 0.0;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return revocation.model != RevocationModel::None || use_portfolio;
+  }
+};
+
+/// The engine's decision for one cluster + horizon.
+struct CapacityPlan {
+  /// Servers [0, on_demand_servers) are bought on-demand and are never
+  /// revoked; the rest ride the transient market.
+  std::size_t on_demand_servers = 0;
+  std::vector<std::size_t> transient_servers;
+  /// Portfolio solution (weights[0] = on-demand share); present even with
+  /// use_portfolio = false (degenerate two-point weights) for reporting.
+  PortfolioResult portfolio;
+  /// ClusterPartitions-compatible pool weights (pool 0 = on-demand).
+  std::vector<double> pool_weights;
+  /// Spot prices over the horizon.
+  PriceTrace prices;
+  /// Merged revoke/restore schedule for the transient servers.
+  std::vector<RevocationEvent> revocations;
+};
+
+/// Cost of running the planned fleet over the horizon, against the
+/// all-on-demand counterfactual. Prices are per core-hour; servers are
+/// billed on their core count while held (a revoked server is not billed).
+struct CostReport {
+  double on_demand_core_hours = 0.0;
+  double transient_core_hours = 0.0;  ///< held (billable) core-hours
+  double on_demand_cost = 0.0;
+  double transient_cost = 0.0;        ///< integral of spot price over held time
+  double all_on_demand_cost = 0.0;    ///< same fleet, every server on-demand
+  [[nodiscard]] double total_cost() const noexcept {
+    return on_demand_cost + transient_cost;
+  }
+  /// Percent saved vs the all-on-demand fleet (positive = cheaper).
+  [[nodiscard]] double saving_percent() const noexcept {
+    return all_on_demand_cost > 0.0
+               ? 100.0 * (1.0 - total_cost() / all_on_demand_cost)
+               : 0.0;
+  }
+};
+
+class TransientMarketEngine {
+ public:
+  explicit TransientMarketEngine(MarketEngineConfig config);
+
+  /// Builds the full plan for `server_count` servers over [0, horizon):
+  /// generates the price trace, solves the portfolio, splits the fleet and
+  /// schedules revocations. Deterministic in (config, server_count,
+  /// horizon).
+  [[nodiscard]] CapacityPlan plan(std::size_t server_count,
+                                  sim::SimTime horizon,
+                                  std::size_t deflatable_pools = 4) const;
+
+  /// Bills the planned fleet over [0, horizon): on-demand servers at the
+  /// sticker rate, transient servers at the spot price while held (the
+  /// plan's own revocation schedule defines the down intervals).
+  [[nodiscard]] CostReport cost_report(const CapacityPlan& plan,
+                                       double cores_per_server,
+                                       sim::SimTime horizon) const;
+
+  [[nodiscard]] const MarketEngineConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  MarketEngineConfig config_;
+};
+
+}  // namespace deflate::transient

@@ -1,0 +1,166 @@
+#include "transient/revocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deflate::transient {
+
+const char* revocation_model_name(RevocationModel m) noexcept {
+  switch (m) {
+    case RevocationModel::None: return "none";
+    case RevocationModel::Poisson: return "poisson";
+    case RevocationModel::TemporallyConstrained: return "temporal";
+    case RevocationModel::PriceCrossing: return "price-crossing";
+  }
+  return "?";
+}
+
+double RevocationEngine::sample_constrained_lifetime(util::Rng& rng) const {
+  const double T = config_.max_lifetime_hours;
+  const double w = std::clamp(config_.early_fraction, 0.0, 1.0);
+  const double tau = std::max(1e-6, config_.early_tau_hours);
+  const double k = std::max(1.0, config_.late_shape);
+  // Bathtub CDF on (0, T]: a truncated-exponential early component (infant
+  // mortality) mixed with a polynomial late component whose mass piles up
+  // against the lifetime cap. F(T) = 1, so every instance is reclaimed by
+  // T — the temporal constraint of Kadupitiya et al.
+  const double early_norm = 1.0 - std::exp(-T / tau);
+  const auto cdf = [&](double t) {
+    const double early = (1.0 - std::exp(-t / tau)) / early_norm;
+    const double late = std::pow(t / T, k);
+    return w * early + (1.0 - w) * late;
+  };
+  const double u = rng.u01();
+  // Invert by bisection: F is strictly increasing on (0, T].
+  double lo = 0.0, hi = T;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < u) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<RevocationEvent> RevocationEngine::schedule_for(
+    std::size_t server, sim::SimTime horizon) const {
+  std::vector<RevocationEvent> events;
+  if (config_.model == RevocationModel::None || horizon.micros() <= 0) {
+    return events;
+  }
+  // At least one tick so a revoke and its restore never share a timestamp
+  // (the simulator orders restores before revokes at equal times).
+  const sim::SimTime recovery =
+      std::max(sim::SimTime::from_hours(std::max(0.0, config_.recovery_hours)),
+               sim::SimTime::from_micros(1));
+
+  if (config_.model == RevocationModel::PriceCrossing) {
+    if (prices_ == nullptr || prices_->empty()) {
+      throw std::logic_error(
+          "RevocationEngine: PriceCrossing needs a price trace");
+    }
+    // Market-wide: the server is held while price <= bid, revoked on the
+    // upward crossing and restored on the downward crossing. Scanning the
+    // step function gives exact crossing times. A bid already under water
+    // at t=0 revokes immediately — capacity is never held at that price.
+    const sim::SimTime step = prices_->step();
+    bool held = prices_->at(sim::SimTime{}) <= config_.bid;
+    if (!held) events.push_back({sim::SimTime{}, server, /*revoke=*/true});
+    for (sim::SimTime t = step; t < horizon; t += step) {
+      const bool affordable = prices_->at(t) <= config_.bid;
+      if (held && !affordable) {
+        events.push_back({t, server, /*revoke=*/true});
+        held = false;
+      } else if (!held && affordable) {
+        events.push_back({t, server, /*revoke=*/false});
+        held = true;
+      }
+    }
+    return events;
+  }
+
+  // Per-server stochastic models: an acquire/revoke renewal process. The
+  // stream is keyed by the server id so the schedule is independent of
+  // which other servers exist and of generation order.
+  util::Rng rng = util::Rng::keyed(seed_, 0x7261'6e73'6965'6e74ULL ^ server);
+  sim::SimTime t;  // current acquisition time
+  while (t < horizon) {
+    double lifetime_hours = 0.0;
+    switch (config_.model) {
+      case RevocationModel::Poisson:
+        lifetime_hours =
+            rng.exponential(std::max(1e-9, config_.poisson_rate_per_hour));
+        break;
+      case RevocationModel::TemporallyConstrained:
+        lifetime_hours = sample_constrained_lifetime(rng);
+        break;
+      default:
+        return events;
+    }
+    const sim::SimTime down = t + sim::SimTime::from_hours(lifetime_hours);
+    if (down >= horizon) break;
+    events.push_back({down, server, /*revoke=*/true});
+    const sim::SimTime up = down + recovery;
+    if (up >= horizon) break;
+    events.push_back({up, server, /*revoke=*/false});
+    t = up;
+  }
+  return events;
+}
+
+std::vector<RevocationEvent> RevocationEngine::schedule(
+    std::span<const std::size_t> transient_servers, sim::SimTime horizon) const {
+  std::vector<RevocationEvent> merged;
+  for (const std::size_t server : transient_servers) {
+    const auto events = schedule_for(server, horizon);
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RevocationEvent& a, const RevocationEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.revoke != b.revoke) return a.revoke;  // revokes first
+              return a.server < b.server;
+            });
+  return merged;
+}
+
+double RevocationEngine::expected_rate_per_hour() const noexcept {
+  switch (config_.model) {
+    case RevocationModel::None:
+      return 0.0;
+    case RevocationModel::Poisson:
+      return config_.poisson_rate_per_hour;
+    case RevocationModel::TemporallyConstrained: {
+      // Renewal rate: one revocation per mean cycle (mean lifetime +
+      // recovery). The bathtub mean is dominated by the late component:
+      // E[L] ~ w * tau_eff + (1-w) * T * k/(k+1).
+      const double T = std::max(1e-9, config_.max_lifetime_hours);
+      const double w = std::clamp(config_.early_fraction, 0.0, 1.0);
+      const double tau = std::max(1e-6, config_.early_tau_hours);
+      const double k = std::max(1.0, config_.late_shape);
+      const double early_mean = std::min(tau, T);
+      const double late_mean = T * k / (k + 1.0);
+      const double mean_lifetime = w * early_mean + (1.0 - w) * late_mean;
+      return 1.0 / (mean_lifetime + std::max(0.0, config_.recovery_hours));
+    }
+    case RevocationModel::PriceCrossing: {
+      if (prices_ == nullptr || prices_->empty()) return 0.0;
+      // Count upward bid-crossings per traced hour.
+      const auto& samples = prices_->samples();
+      std::size_t crossings = 0;
+      for (std::size_t i = 1; i < samples.size(); ++i) {
+        if (samples[i - 1] <= config_.bid && samples[i] > config_.bid) {
+          ++crossings;
+        }
+      }
+      const double hours = prices_->duration().hours();
+      return hours > 0.0 ? static_cast<double>(crossings) / hours : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace deflate::transient

@@ -1,0 +1,118 @@
+// Server-level revocation engine for transient capacity.
+//
+// The paper's premise is that servers are *transient*: the provider may
+// reclaim them at unilateral notice, and deflation is the graceful answer
+// to that reclamation. This engine generates the revocation events. Three
+// preemption models are implemented:
+//
+//   * Poisson — the classic memoryless model: per-server time-to-revocation
+//     is exponential with a configurable MTBR (EC2-spot-style analyses
+//     commonly assume this).
+//   * TemporallyConstrained — Kadupitiya, Jadhao & Sharma, "Modeling The
+//     Temporally Constrained Preemptions of Transient Cloud VMs"
+//     (arXiv:1911.05160): Google-preemptible-style instances have a hard
+//     24 h maximum lifetime, and the preemption hazard is bathtub-shaped —
+//     elevated infant mortality in the first hours, a quiet middle, and a
+//     steep rise near the lifetime cap where every surviving instance is
+//     reclaimed.
+//   * PriceCrossing — spot-market semantics: capacity is held while the
+//     spot price stays at or below the bid and revoked market-wide when the
+//     price crosses above it (Sharma et al., arXiv:1704.08738 §2).
+//
+// Schedules are keyed per (seed, server id) through util::Rng streams, so
+// the schedule of any server is independent of how many other servers
+// exist and of the thread count used to generate them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transient/spot_price.hpp"
+
+namespace deflate::transient {
+
+enum class RevocationModel { None, Poisson, TemporallyConstrained, PriceCrossing };
+
+[[nodiscard]] const char* revocation_model_name(RevocationModel m) noexcept;
+
+struct RevocationConfig {
+  RevocationModel model = RevocationModel::None;
+
+  // --- Poisson ---
+  /// Mean time between revocations is 1/rate (default: one per 24 h).
+  double poisson_rate_per_hour = 1.0 / 24.0;
+
+  // --- TemporallyConstrained (Kadupitiya et al.) ---
+  /// Hard lifetime cap T (24 h for Google preemptible VMs).
+  double max_lifetime_hours = 24.0;
+  /// Fraction of instances hit by the early (infant-mortality) component.
+  double early_fraction = 0.2;
+  /// Time constant of the early exponential component, hours.
+  double early_tau_hours = 2.0;
+  /// Polynomial exponent of the late component; larger = more mass
+  /// concentrated at the lifetime cap.
+  double late_shape = 8.0;
+
+  // --- PriceCrossing ---
+  /// Bid per core-hour; capacity is lost while spot price > bid.
+  double bid = 0.5;
+
+  /// Time for the provider to hand back equivalent capacity after a
+  /// revocation (re-acquisition delay). Applies to all models.
+  double recovery_hours = 0.25;
+};
+
+/// One revocation (or restoration) of one server.
+struct RevocationEvent {
+  sim::SimTime at;
+  std::size_t server = 0;
+  bool revoke = true;  ///< false: capacity restored (re-acquired)
+
+  [[nodiscard]] bool operator==(const RevocationEvent&) const = default;
+};
+
+class RevocationEngine {
+ public:
+  explicit RevocationEngine(RevocationConfig config,
+                            std::uint64_t seed = 42) noexcept
+      : config_(config), seed_(seed) {}
+
+  /// Revoke/restore schedule for one server over [0, horizon), sorted by
+  /// time. A pure function of (config, seed, server) — bit-identical
+  /// regardless of call order or thread count. PriceCrossing requires a
+  /// price trace (set_price_trace) and is market-wide, i.e. identical for
+  /// every server.
+  [[nodiscard]] std::vector<RevocationEvent> schedule_for(
+      std::size_t server, sim::SimTime horizon) const;
+
+  /// Merged schedule for a set of transient servers, sorted by
+  /// (time, revoke-before-restore, server id).
+  [[nodiscard]] std::vector<RevocationEvent> schedule(
+      std::span<const std::size_t> transient_servers,
+      sim::SimTime horizon) const;
+
+  /// The PriceCrossing model derives its schedule from this trace. The
+  /// trace must outlive the engine.
+  void set_price_trace(const PriceTrace* trace) noexcept { prices_ = trace; }
+
+  /// Expected revocations per server-hour under the configured model
+  /// (used by the portfolio manager's risk estimate).
+  [[nodiscard]] double expected_rate_per_hour() const noexcept;
+
+  [[nodiscard]] const RevocationConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Samples one temporally-constrained lifetime (hours) by inverting the
+  /// bathtub CDF; always <= max_lifetime_hours.
+  [[nodiscard]] double sample_constrained_lifetime(util::Rng& rng) const;
+
+  RevocationConfig config_;
+  std::uint64_t seed_ = 42;
+  const PriceTrace* prices_ = nullptr;
+};
+
+}  // namespace deflate::transient

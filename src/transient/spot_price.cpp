@@ -1,0 +1,123 @@
+#include "transient/spot_price.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deflate::transient {
+
+PriceTrace::PriceTrace(sim::SimTime step, std::vector<double> prices)
+    : step_(step), prices_(std::move(prices)) {
+  if (step.micros() <= 0) {
+    throw std::invalid_argument("PriceTrace: step must be positive");
+  }
+}
+
+double PriceTrace::at(sim::SimTime t) const noexcept {
+  if (prices_.empty()) return 0.0;
+  const std::int64_t idx = t.micros() / step_.micros();
+  if (idx < 0) return prices_.front();
+  if (idx >= static_cast<std::int64_t>(prices_.size())) return prices_.back();
+  return prices_[static_cast<std::size_t>(idx)];
+}
+
+double PriceTrace::integral_over(sim::SimTime from, sim::SimTime to) const {
+  if (prices_.empty() || to <= from) return 0.0;
+  // Sum of price * overlap for each step interval [i*step, (i+1)*step).
+  double total = 0.0;
+  const std::int64_t step_us = step_.micros();
+  const std::int64_t lo = std::max<std::int64_t>(0, from.micros() / step_us);
+  for (std::int64_t i = lo; i < static_cast<std::int64_t>(prices_.size()); ++i) {
+    const sim::SimTime seg_start = sim::SimTime::from_micros(i * step_us);
+    if (seg_start >= to) break;
+    const sim::SimTime seg_end = sim::SimTime::from_micros((i + 1) * step_us);
+    const sim::SimTime a = std::max(seg_start, from);
+    const sim::SimTime b = std::min(seg_end, to);
+    if (b > a) total += prices_[static_cast<std::size_t>(i)] * (b - a).hours();
+  }
+  // Beyond the trace end the last price holds (clamped extrapolation).
+  const sim::SimTime trace_end = duration();
+  if (to > trace_end && !prices_.empty()) {
+    const sim::SimTime a = std::max(from, trace_end);
+    total += prices_.back() * (to - a).hours();
+  }
+  return total;
+}
+
+double PriceTrace::mean() const noexcept {
+  if (prices_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double p : prices_) sum += p;
+  return sum / static_cast<double>(prices_.size());
+}
+
+double PriceTrace::variance() const noexcept {
+  if (prices_.size() < 2) return 0.0;
+  const double m = mean();
+  double sum = 0.0;
+  for (const double p : prices_) sum += (p - m) * (p - m);
+  return sum / static_cast<double>(prices_.size());
+}
+
+double PriceTrace::max() const noexcept {
+  return prices_.empty() ? 0.0 : *std::max_element(prices_.begin(), prices_.end());
+}
+
+double PriceTrace::min() const noexcept {
+  return prices_.empty() ? 0.0 : *std::min_element(prices_.begin(), prices_.end());
+}
+
+double PriceTrace::fraction_above(double threshold) const noexcept {
+  if (prices_.empty()) return 0.0;
+  std::size_t above = 0;
+  for (const double p : prices_) {
+    if (p > threshold) ++above;
+  }
+  return static_cast<double>(above) / static_cast<double>(prices_.size());
+}
+
+sim::SimTime PriceTrace::duration() const noexcept {
+  return sim::SimTime::from_micros(
+      static_cast<std::int64_t>(prices_.size()) * step_.micros());
+}
+
+PriceTrace SpotPriceModel::generate(sim::SimTime duration) const {
+  const std::int64_t step_us = config_.step.micros();
+  if (step_us <= 0) {
+    throw std::invalid_argument("SpotPriceModel: step must be positive");
+  }
+  const auto steps = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (duration.micros() + step_us - 1) / step_us));
+  const double dt = config_.step.hours();
+
+  util::Rng rng = util::Rng::keyed(seed_, stream_);
+  std::vector<double> prices;
+  prices.reserve(steps);
+
+  // Euler-Maruyama discretization of dp = kappa (mu - p) dt + sigma dW,
+  // plus an additive shock term that jumps on Poisson arrivals and decays
+  // exponentially (capacity-crunch spikes).
+  double p = config_.mean_price;
+  double shock = 0.0;
+  const double shock_decay =
+      config_.shock_decay_hours > 0.0
+          ? std::exp(-dt / config_.shock_decay_hours)
+          : 0.0;
+  const double sqrt_dt = std::sqrt(dt);
+  for (std::size_t i = 0; i < steps; ++i) {
+    p += config_.reversion_rate * (config_.mean_price - p) * dt +
+         config_.volatility * sqrt_dt * rng.normal();
+    shock *= shock_decay;
+    if (config_.shock_rate_per_hour > 0.0 &&
+        rng.bernoulli(1.0 - std::exp(-config_.shock_rate_per_hour * dt))) {
+      shock = std::max(
+          shock, (config_.shock_multiplier - 1.0) * config_.mean_price);
+    }
+    const double value = std::clamp(p + shock, config_.floor_price,
+                                    config_.on_demand_price * 2.0);
+    prices.push_back(value);
+  }
+  return PriceTrace(config_.step, std::move(prices));
+}
+
+}  // namespace deflate::transient

@@ -1,0 +1,94 @@
+// Spot-price process for transient capacity markets.
+//
+// Transient servers are priced by a dynamic spot market (Sharma et al.,
+// "Portfolio-driven Resource Management for Transient Cloud Servers",
+// arXiv:1704.08738): prices hover far below the on-demand rate, revert
+// towards a long-run mean, and occasionally spike when the provider
+// reclaims surplus capacity. We model this as a discretized
+// Ornstein-Uhlenbeck process with Poisson shock spikes that decay
+// exponentially — the standard mean-reverting + jump model for spot
+// markets. All randomness flows through util::Rng keyed by
+// (seed, stream), so sweeps are bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace deflate::transient {
+
+struct SpotPriceConfig {
+  /// Normalized on-demand rate (matches cluster::kOnDemandRate).
+  double on_demand_price = 1.0;
+  /// Long-run mean of the spot price ("60-90% discount" regime).
+  double mean_price = 0.25;
+  /// Mean-reversion rate kappa, per hour.
+  double reversion_rate = 0.6;
+  /// Diffusion volatility sigma, per sqrt(hour).
+  double volatility = 0.04;
+  /// Poisson rate of capacity-crunch price spikes, per hour.
+  double shock_rate_per_hour = 1.0 / 24.0;
+  /// Spike peak as a multiple of the long-run mean.
+  double shock_multiplier = 4.0;
+  /// Exponential decay time-constant of a spike, hours.
+  double shock_decay_hours = 1.5;
+  /// Hard floor (spot markets never trade at zero).
+  double floor_price = 0.05;
+  /// Sampling interval of the generated trace.
+  sim::SimTime step = sim::SimTime::from_minutes(5);
+};
+
+/// Immutable step-function price trace sampled on a fixed interval.
+class PriceTrace {
+ public:
+  PriceTrace() = default;
+  PriceTrace(sim::SimTime step, std::vector<double> prices);
+
+  /// Price at time t (clamped to the trace ends).
+  [[nodiscard]] double at(sim::SimTime t) const noexcept;
+  /// Integral of price over [from, to], in price * hours.
+  [[nodiscard]] double integral_over(sim::SimTime from, sim::SimTime to) const;
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+
+  /// Fraction of trace time with price strictly above `threshold`.
+  [[nodiscard]] double fraction_above(double threshold) const noexcept;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return prices_;
+  }
+  [[nodiscard]] sim::SimTime step() const noexcept { return step_; }
+  [[nodiscard]] sim::SimTime duration() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return prices_.empty(); }
+
+ private:
+  sim::SimTime step_ = sim::SimTime::from_minutes(5);
+  std::vector<double> prices_;
+};
+
+/// Mean-reverting + shock spot-price generator. Deterministic in
+/// (config, seed, stream); `generate` is const and reusable.
+class SpotPriceModel {
+ public:
+  explicit SpotPriceModel(SpotPriceConfig config, std::uint64_t seed = 42,
+                          std::uint64_t stream = 0) noexcept
+      : config_(config), seed_(seed), stream_(stream) {}
+
+  [[nodiscard]] PriceTrace generate(sim::SimTime duration) const;
+
+  [[nodiscard]] const SpotPriceConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  SpotPriceConfig config_;
+  std::uint64_t seed_ = 42;
+  std::uint64_t stream_ = 0;
+};
+
+}  // namespace deflate::transient

@@ -126,8 +126,10 @@ TEST(ClusterManager, PreemptionModeEvictsLowPriority) {
   manager.place_vm(make_spec(1, 8, 16384.0, true, /*priority=*/0.2));
   manager.place_vm(make_spec(2, 8, 16384.0, true, /*priority=*/0.8));
   std::vector<std::uint64_t> preempted;
-  manager.subscribe_preemption(
-      [&](const hv::VmSpec& spec) { preempted.push_back(spec.id); });
+  manager.subscribe_preemption([&](const hv::VmSpec& spec, std::uint64_t host) {
+    EXPECT_EQ(host, 0U);  // single-server cluster
+    preempted.push_back(spec.id);
+  });
 
   const auto result = manager.place_vm(make_spec(3, 8, 16384.0, false));
   EXPECT_TRUE(result.ok());
@@ -177,4 +179,91 @@ TEST(ClusterManager, PartitionFullRejectsEvenIfClusterHasRoom) {
   // §5.2.1: "if a partition becomes full ... new VMs may have to be
   // rejected using the admission control mechanism".
   EXPECT_FALSE(result.ok());
+}
+
+// --- server-level revocations (transient market) ---------------------------
+
+TEST(ClusterManager, RevokeServerMigratesVmsInDeflationMode) {
+  cl::ClusterManager manager(small_cluster(2));
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 8, 16384.0, true)).ok());
+  ASSERT_TRUE(manager.place_vm(make_spec(2, 8, 16384.0, true)).ok());
+  const std::size_t victim_server = manager.server_of(1).value();
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> migrations;
+  manager.subscribe_migration([&](const hv::VmSpec& spec, std::uint64_t from,
+                                  std::uint64_t to, double /*fraction*/) {
+    EXPECT_EQ(from, victim_server);
+    migrations.emplace_back(spec.id, to);
+  });
+
+  const auto outcome = manager.revoke_server(victim_server);
+  EXPECT_EQ(outcome.vms_displaced, 1U);
+  EXPECT_EQ(outcome.vms_migrated, 1U);
+  EXPECT_EQ(outcome.vms_killed, 0U);
+  ASSERT_EQ(migrations.size(), 1U);
+  EXPECT_NE(migrations[0].second, victim_server);
+  EXPECT_FALSE(manager.server_active(victim_server));
+  EXPECT_EQ(manager.active_server_count(), 1U);
+  // Both VMs still alive, now co-located on the surviving server.
+  EXPECT_NE(manager.find_vm(1), nullptr);
+  EXPECT_NE(manager.find_vm(2), nullptr);
+  EXPECT_EQ(manager.stats().revocations, 1U);
+  EXPECT_EQ(manager.stats().revocation_migrations, 1U);
+}
+
+TEST(ClusterManager, RevokeServerKillsVmsInPreemptionMode) {
+  cl::ClusterManager manager(
+      small_cluster(2, cl::ReclamationMode::Preemption));
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 8, 16384.0, true)).ok());
+  const std::size_t server = manager.server_of(1).value();
+  std::vector<std::uint64_t> killed;
+  manager.subscribe_preemption([&](const hv::VmSpec& spec, std::uint64_t host) {
+    EXPECT_EQ(host, server);
+    killed.push_back(spec.id);
+  });
+  const auto outcome = manager.revoke_server(server);
+  EXPECT_EQ(outcome.vms_displaced, 1U);
+  EXPECT_EQ(outcome.vms_killed, 1U);
+  EXPECT_EQ(outcome.vms_migrated, 0U);
+  ASSERT_EQ(killed.size(), 1U);
+  EXPECT_EQ(manager.find_vm(1), nullptr);
+  EXPECT_EQ(manager.stats().revocation_kills, 1U);
+}
+
+TEST(ClusterManager, RevokedServerRejectsPlacementsUntilRestored) {
+  cl::ClusterManager manager(small_cluster(1));
+  manager.revoke_server(0);
+  EXPECT_FALSE(manager.place_vm(make_spec(1, 4, 8192.0, false)).ok());
+  manager.restore_server(0);
+  EXPECT_TRUE(manager.server_active(0));
+  EXPECT_TRUE(manager.place_vm(make_spec(2, 4, 8192.0, false)).ok());
+  EXPECT_EQ(manager.stats().restorations, 1U);
+}
+
+TEST(ClusterManager, RevocationKillsWhenNoSurvivorFits) {
+  cl::ClusterManager manager(small_cluster(2));
+  // Fill both servers with on-demand VMs, plus one deflatable victim.
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 16, 32768.0, false)).ok());
+  ASSERT_TRUE(manager.place_vm(make_spec(2, 16, 32768.0, false)).ok());
+  const std::size_t server = manager.server_of(1).value();
+  std::vector<std::uint64_t> killed;
+  manager.subscribe_preemption(
+      [&](const hv::VmSpec& spec, std::uint64_t /*host*/) {
+        killed.push_back(spec.id);
+      });
+  const auto outcome = manager.revoke_server(server);
+  // The displaced on-demand VM cannot deflate anyone on the packed
+  // survivor, so it is lost.
+  EXPECT_EQ(outcome.vms_displaced, 1U);
+  EXPECT_EQ(outcome.vms_killed, 1U);
+  ASSERT_EQ(killed.size(), 1U);
+  EXPECT_EQ(killed[0], 1U);
+}
+
+TEST(ClusterManager, RevokeIsIdempotent) {
+  cl::ClusterManager manager(small_cluster(2));
+  manager.revoke_server(0);
+  const auto second = manager.revoke_server(0);
+  EXPECT_EQ(second.vms_displaced, 0U);
+  EXPECT_EQ(manager.stats().revocations, 1U);
 }

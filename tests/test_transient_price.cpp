@@ -1,0 +1,98 @@
+#include "transient/spot_price.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tn = deflate::transient;
+namespace sim = deflate::sim;
+
+namespace {
+
+tn::SpotPriceConfig base_config() {
+  tn::SpotPriceConfig config;
+  config.mean_price = 0.25;
+  config.volatility = 0.04;
+  return config;
+}
+
+}  // namespace
+
+TEST(SpotPrice, DeterministicInSeedAndStream) {
+  const tn::SpotPriceModel a(base_config(), 7, 0);
+  const tn::SpotPriceModel b(base_config(), 7, 0);
+  const auto ta = a.generate(sim::SimTime::from_hours(48));
+  const auto tb = b.generate(sim::SimTime::from_hours(48));
+  ASSERT_EQ(ta.samples().size(), tb.samples().size());
+  for (std::size_t i = 0; i < ta.samples().size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta.samples()[i], tb.samples()[i]);
+  }
+}
+
+TEST(SpotPrice, DifferentStreamsDiffer) {
+  const tn::SpotPriceModel a(base_config(), 7, 0);
+  const tn::SpotPriceModel b(base_config(), 7, 1);
+  const auto ta = a.generate(sim::SimTime::from_hours(48));
+  const auto tb = b.generate(sim::SimTime::from_hours(48));
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < ta.samples().size(); ++i) {
+    if (ta.samples()[i] != tb.samples()[i]) ++diffs;
+  }
+  EXPECT_GT(diffs, ta.samples().size() / 2);
+}
+
+TEST(SpotPrice, StaysInBounds) {
+  auto config = base_config();
+  config.shock_rate_per_hour = 0.5;  // lots of spikes
+  const tn::SpotPriceModel model(config, 11);
+  const auto trace = model.generate(sim::SimTime::from_hours(200));
+  EXPECT_GE(trace.min(), config.floor_price);
+  EXPECT_LE(trace.max(), config.on_demand_price * 2.0 + 1e-12);
+}
+
+TEST(SpotPrice, MeanRevertsToConfiguredMean) {
+  auto config = base_config();
+  config.shock_rate_per_hour = 0.0;  // pure OU
+  const tn::SpotPriceModel model(config, 3);
+  const auto trace = model.generate(sim::SimTime::from_hours(500));
+  EXPECT_NEAR(trace.mean(), config.mean_price, 0.05);
+}
+
+TEST(SpotPrice, ShocksRaiseTheMax) {
+  auto quiet = base_config();
+  quiet.shock_rate_per_hour = 0.0;
+  auto shocked = base_config();
+  shocked.shock_rate_per_hour = 0.2;
+  const auto tq = tn::SpotPriceModel(quiet, 5).generate(sim::SimTime::from_hours(96));
+  const auto ts =
+      tn::SpotPriceModel(shocked, 5).generate(sim::SimTime::from_hours(96));
+  EXPECT_GT(ts.max(), tq.max());
+  EXPECT_GT(ts.fraction_above(2.0 * shocked.mean_price), 0.0);
+}
+
+TEST(PriceTrace, StepLookupAndClamping) {
+  const tn::PriceTrace trace(sim::SimTime::from_minutes(5), {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(trace.at(sim::SimTime::from_minutes(0)), 1.0);
+  EXPECT_DOUBLE_EQ(trace.at(sim::SimTime::from_minutes(7)), 2.0);
+  EXPECT_DOUBLE_EQ(trace.at(sim::SimTime::from_minutes(14)), 3.0);
+  // Clamped past both ends.
+  EXPECT_DOUBLE_EQ(trace.at(sim::SimTime::from_hours(5)), 3.0);
+  EXPECT_DOUBLE_EQ(trace.at(sim::SimTime::from_micros(-10)), 1.0);
+}
+
+TEST(PriceTrace, IntegralMatchesHandComputation) {
+  // 3 steps of 1 hour at prices 1, 2, 3.
+  const tn::PriceTrace trace(sim::SimTime::from_hours(1), {1.0, 2.0, 3.0});
+  EXPECT_NEAR(trace.integral_over(sim::SimTime{}, sim::SimTime::from_hours(3)),
+              6.0, 1e-9);
+  // Partial overlap: [0.5h, 1.5h) = 0.5*1 + 0.5*2.
+  EXPECT_NEAR(trace.integral_over(sim::SimTime::from_hours(0.5),
+                                  sim::SimTime::from_hours(1.5)),
+              1.5, 1e-9);
+  // Beyond the end the last price extrapolates: [2h, 5h) = 1*3 + 2*3.
+  EXPECT_NEAR(trace.integral_over(sim::SimTime::from_hours(2),
+                                  sim::SimTime::from_hours(5)),
+              9.0, 1e-9);
+  // Empty / inverted ranges.
+  EXPECT_DOUBLE_EQ(trace.integral_over(sim::SimTime::from_hours(2),
+                                       sim::SimTime::from_hours(2)),
+                   0.0);
+}

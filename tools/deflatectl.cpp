@@ -7,6 +7,10 @@
 //               [--placement fitness|first-fit|best-fit|worst-fit]
 //               [--partitioned] [--no-reinflate]
 //   deflatectl feasibility --in t.csv
+//   deflatectl revoke-sim --in t.csv [--servers N] [--model poisson|temporal|price]
+//               [--rate R] [--bid B] [--no-portfolio] [--od-share S]
+//               [--floor F] [--risk A] [--mode deflation|preemption]
+//               [--partitioned] [--seed S]
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cmath>
@@ -70,8 +74,23 @@ int usage() {
       "  deflatectl simulate --in FILE --overcommit O [--policy P] [--mode M]\n"
       "             [--mechanism K] [--placement S] [--partitioned]\n"
       "             [--no-reinflate] [--servers N]\n"
-      "  deflatectl feasibility --in FILE\n";
+      "  deflatectl feasibility --in FILE\n"
+      "  deflatectl revoke-sim --in FILE [--servers N] [--model M] [--rate R]\n"
+      "             [--bid B] [--no-portfolio] [--od-share S] [--floor F]\n"
+      "             [--risk A] [--mode deflation|preemption] [--partitioned]\n"
+      "             [--seed S]\n";
   return 1;
+}
+
+std::optional<transient::RevocationModel> parse_revocation_model(
+    const std::string& name) {
+  if (name == "none") return transient::RevocationModel::None;
+  if (name == "poisson") return transient::RevocationModel::Poisson;
+  if (name == "temporal") {
+    return transient::RevocationModel::TemporallyConstrained;
+  }
+  if (name == "price") return transient::RevocationModel::PriceCrossing;
+  return std::nullopt;
 }
 
 std::optional<core::PolicyKind> parse_policy(const std::string& name) {
@@ -207,6 +226,70 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+int cmd_revoke_sim(const Args& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) return usage();
+  const auto records = trace::load_trace(in);
+
+  simcluster::SimConfig config;
+  config.mode = args.get("mode", "deflation") == "preemption"
+                    ? cluster::ReclamationMode::Preemption
+                    : cluster::ReclamationMode::Deflation;
+  // With --partitioned the portfolio's pool weights shape the partitions
+  // and the on-demand pool is exactly the never-revoked server set.
+  config.partitioned = args.has("partitioned");
+  if (args.has("servers")) {
+    config.server_count =
+        static_cast<std::size_t>(args.get_double("servers", 40));
+  } else {
+    // 20% headroom below peak so migrations off revoked servers can land.
+    config.server_count =
+        simcluster::TraceDrivenSimulator::servers_for_overcommit(
+            records, config.server_capacity, -0.2);
+  }
+
+  const auto model = parse_revocation_model(args.get("model", "poisson"));
+  if (!model) return usage();
+  config.market_enabled = true;
+  config.market.seed = static_cast<std::uint64_t>(args.get_double("seed", 42));
+  config.market.revocation.model = *model;
+  config.market.revocation.poisson_rate_per_hour =
+      args.get_double("rate", 1.0 / 24.0);
+  config.market.revocation.bid = args.get_double("bid", 0.5);
+  config.market.use_portfolio = !args.has("no-portfolio");
+  config.market.on_demand_share = args.get_double("od-share", 0.0);
+  config.market.portfolio.on_demand_floor = args.get_double("floor", 0.1);
+  config.market.portfolio.risk_aversion = args.get_double("risk", 2.0);
+
+  simcluster::TraceDrivenSimulator simulator(records, config);
+  const auto metrics = simulator.run();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"revocation model",
+                 transient::revocation_model_name(*model)});
+  table.add_row({"servers", std::to_string(config.server_count)});
+  table.add_row({"transient share",
+                 util::format_double(100 * metrics.transient_server_share, 1) +
+                     "%"});
+  table.add_row({"revocations", std::to_string(metrics.revocations)});
+  table.add_row({"vm migrations", std::to_string(metrics.revocation_migrations)});
+  table.add_row({"vm kills", std::to_string(metrics.revocation_kills)});
+  table.add_row({"failure probability",
+                 util::format_double(100 * metrics.failure_probability, 3) + "%"});
+  table.add_row({"throughput loss",
+                 util::format_double(100 * metrics.throughput_loss, 3) + "%"});
+  table.add_row({"portfolio cost/core-hour",
+                 util::format_double(metrics.portfolio_expected_cost, 3)});
+  table.add_row({"fleet cost",
+                 util::format_double(metrics.cost.total_cost(), 0)});
+  table.add_row({"all-on-demand cost",
+                 util::format_double(metrics.cost.all_on_demand_cost, 0)});
+  table.add_row({"saving vs on-demand",
+                 util::format_double(metrics.cost.saving_percent(), 2) + "%"});
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_feasibility(const Args& args) {
   const std::string in = args.get("in", "");
   if (in.empty()) return usage();
@@ -235,6 +318,7 @@ int main(int argc, char** argv) {
     }
     if (command == "simulate") return cmd_simulate(args);
     if (command == "feasibility") return cmd_feasibility(args);
+    if (command == "revoke-sim") return cmd_revoke_sim(args);
     return usage();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
