@@ -21,6 +21,8 @@ ClusterManager::ClusterManager(ClusterConfig config)
   std::shared_ptr<mech::DeflationMechanism> mechanism =
       mech::make_mechanism(config_.mechanism);
   nodes_.reserve(config_.server_count);
+  view_dirty_.assign(config_.server_count, 0);
+  dirty_queue_.reserve(config_.server_count);
   for (std::size_t i = 0; i < config_.server_count; ++i) {
     auto node = std::make_unique<ServerNode>(i, config_);
     node->controller = std::make_unique<core::LocalDeflationController>(
@@ -30,6 +32,32 @@ ClusterManager::ClusterManager(ClusterConfig config)
     nodes_.push_back(std::move(node));
     refresh_view(i);
   }
+}
+
+void ClusterManager::mark_view_dirty(std::size_t server) {
+  if (view_dirty_[server]) return;
+  view_dirty_[server] = 1;
+  dirty_queue_.push_back(server);
+}
+
+void ClusterManager::flush_views() {
+  for (const std::size_t server : dirty_queue_) {
+    view_dirty_[server] = 0;
+    refresh_view(server);
+  }
+  dirty_queue_.clear();
+}
+
+FleetAggregate ClusterManager::aggregate_free() {
+  flush_views();
+  FleetAggregate aggregate;
+  for (const auto& node : nodes_) {
+    if (!node->active) continue;
+    aggregate.available += node->view.available;
+    aggregate.deflatable += node->view.deflatable;
+    ++aggregate.active_servers;
+  }
+  return aggregate;
 }
 
 void ClusterManager::refresh_view(std::size_t server) {
@@ -93,7 +121,7 @@ PlacementResult ClusterManager::admit(const hv::VmSpec& spec, std::size_t server
     const core::ReclaimOutcome outcome = node.controller->make_room_for(demand);
     if (!outcome.success) {
       ++stats_.reclamation_failures;
-      refresh_view(server);
+      mark_view_dirty(server);
       result.status = PlacementResult::Status::Rejected;
       return result;
     }
@@ -111,7 +139,7 @@ PlacementResult ClusterManager::admit(const hv::VmSpec& spec, std::size_t server
   result.launch_fraction = fraction;
   vm_locations_[spec.id] = server;
   ++stats_.placements;
-  refresh_view(server);
+  mark_view_dirty(server);
   return result;
 }
 
@@ -170,12 +198,16 @@ PlacementResult ClusterManager::place_with_preemption(
         callback(victim_spec, server);
       }
     }
-    refresh_view(server);
+    mark_view_dirty(server);
   }
   return admit(spec, server, 1.0);
 }
 
 PlacementResult ClusterManager::place_vm(const hv::VmSpec& spec) {
+  // Views are maintained lazily; bring the dirty ones up to date so every
+  // feasibility decision below sees exact state (same decisions as the old
+  // eager per-mutation rescan, minus the redundant rescans in between).
+  flush_views();
   const std::vector<std::size_t> candidates = candidate_servers(spec);
   if (config_.mode == ReclamationMode::Preemption) {
     return place_with_preemption(spec, candidates);
@@ -280,7 +312,7 @@ RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
     ++stats_.revocation_kills;
     for (const auto& callback : preemption_callbacks_) callback(spec, server);
   }
-  refresh_view(server);
+  mark_view_dirty(server);
   for (const auto& callback : revocation_callbacks_) callback(server, outcome);
   return outcome;
 }
@@ -290,10 +322,10 @@ void ClusterManager::restore_server(std::size_t server) {
   if (node.active) return;
   node.active = true;
   ++stats_.restorations;
-  refresh_view(server);
+  mark_view_dirty(server);
 }
 
-std::size_t ClusterManager::active_server_count() const noexcept {
+std::size_t ClusterManager::active_server_count() const {
   std::size_t count = 0;
   for (const auto& node : nodes_) {
     if (node->active) ++count;
@@ -311,7 +343,7 @@ bool ClusterManager::remove_vm(std::uint64_t vm_id) {
       config_.reinflate_on_departure) {
     nodes_[server]->controller->redistribute_free();
   }
-  refresh_view(server);
+  mark_view_dirty(server);
   return true;
 }
 

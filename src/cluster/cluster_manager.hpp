@@ -85,7 +85,21 @@ struct RevocationOutcome {
   std::size_t vms_killed = 0;     ///< no surviving server could take them
 };
 
-class ClusterManager {
+/// Aggregate placement capacity of a (sub-)fleet, computed from the cached
+/// per-server views; the sharded scheduler routes on this.
+struct FleetAggregate {
+  res::ResourceVector available;   ///< sum of free capacity, active servers
+  res::ResourceVector deflatable;  ///< sum of reclaimable headroom
+  std::size_t active_servers = 0;
+};
+
+/// Common interface of the flat ClusterManager and the sharded scheduler
+/// layered on top of it (src/cluster/sharded_manager.hpp). The simulator,
+/// the transient-market wiring and deflatectl operate exclusively against
+/// this interface, so fleets switch between flat and sharded transparently.
+/// Every `server` parameter and every server id carried by a callback or a
+/// PlacementResult is a *global* fleet id in [0, server_count()).
+class ClusterManagerBase {
  public:
   /// Preemption/revocation-kill observer; `host_id` is the server the VM
   /// was evicted from.
@@ -100,14 +114,14 @@ class ClusterManager {
   using MigrationCallback = std::function<void(
       const hv::VmSpec&, std::uint64_t from, std::uint64_t to, double fraction)>;
 
-  explicit ClusterManager(ClusterConfig config);
+  virtual ~ClusterManagerBase() = default;
 
   /// Places a VM per the three-step protocol; see PlacementResult.
-  PlacementResult place_vm(const hv::VmSpec& spec);
+  virtual PlacementResult place_vm(const hv::VmSpec& spec) = 0;
 
   /// Terminates a VM and reinflates survivors on its server. Returns false
   /// if the VM is unknown (e.g. already preempted).
-  bool remove_vm(std::uint64_t vm_id);
+  virtual bool remove_vm(std::uint64_t vm_id) = 0;
 
   /// Server-level revocation (transient market): the server goes offline
   /// and stops accepting placements. In Deflation mode its VMs are
@@ -115,46 +129,106 @@ class ClusterManager {
   /// land on as needed — and killed only when no server can absorb them;
   /// in Preemption mode every resident VM is killed. Idempotent on an
   /// already-revoked server.
-  RevocationOutcome revoke_server(std::size_t server);
+  virtual RevocationOutcome revoke_server(std::size_t server) = 0;
 
   /// The provider hands equivalent capacity back: the (empty) server
   /// rejoins the placement pool. Lost VMs do not return.
-  void restore_server(std::size_t server);
+  virtual void restore_server(std::size_t server) = 0;
 
-  [[nodiscard]] bool server_active(std::size_t server) const {
-    return nodes_.at(server)->active;
-  }
-  [[nodiscard]] std::size_t active_server_count() const noexcept;
+  [[nodiscard]] virtual bool server_active(std::size_t server) const = 0;
+  [[nodiscard]] virtual std::size_t active_server_count() const = 0;
+  [[nodiscard]] virtual std::size_t server_count() const = 0;
+  [[nodiscard]] virtual hv::Host& host(std::size_t server) = 0;
+  [[nodiscard]] virtual hv::Vm* find_vm(std::uint64_t vm_id) = 0;
+  [[nodiscard]] virtual std::optional<std::size_t> server_of(
+      std::uint64_t vm_id) const = 0;
 
-  [[nodiscard]] std::size_t server_count() const noexcept { return nodes_.size(); }
-  [[nodiscard]] hv::Host& host(std::size_t i) { return nodes_.at(i)->hypervisor.host(); }
-  [[nodiscard]] core::LocalDeflationController& controller(std::size_t i) {
-    return *nodes_.at(i)->controller;
-  }
-  [[nodiscard]] hv::Vm* find_vm(std::uint64_t vm_id);
-  [[nodiscard]] std::optional<std::size_t> server_of(std::uint64_t vm_id) const;
+  [[nodiscard]] virtual const ClusterStats& stats() const = 0;
+  [[nodiscard]] virtual res::ResourceVector total_capacity() const = 0;
+  [[nodiscard]] virtual res::ResourceVector total_allocated() const = 0;
+  [[nodiscard]] virtual res::ResourceVector total_committed() const = 0;
 
-  [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] res::ResourceVector total_capacity() const;
-  [[nodiscard]] res::ResourceVector total_allocated() const;
-  [[nodiscard]] res::ResourceVector total_committed() const;
+  /// Global ids of the servers in partition pool `k` (pool 0 = on-demand).
+  /// An unpartitioned fleet has a single pool owning every server.
+  [[nodiscard]] virtual std::vector<std::size_t> pool_servers(
+      std::size_t pool) const = 0;
 
   /// Observers: deflation events from any server; preemption events when
   /// running in Preemption mode.
-  void subscribe_deflation(const DeflationCallback& callback);
-  void subscribe_preemption(PreemptionCallback callback) {
+  virtual void subscribe_deflation(const DeflationCallback& callback) = 0;
+  virtual void subscribe_preemption(PreemptionCallback callback) = 0;
+  virtual void subscribe_revocation(RevocationCallback callback) = 0;
+  virtual void subscribe_migration(MigrationCallback callback) = 0;
+
+  /// Flushes batched view/aggregate maintenance. Mutations only mark
+  /// servers dirty; the simulator calls this once per simulated tick so a
+  /// burst of events between ticks costs one rescan per touched server
+  /// instead of one per event. Placement flushes on demand regardless, so
+  /// skipping this never changes decisions — only when the work happens.
+  virtual void flush_views() = 0;
+};
+
+class ClusterManager : public ClusterManagerBase {
+ public:
+  explicit ClusterManager(ClusterConfig config);
+
+  PlacementResult place_vm(const hv::VmSpec& spec) override;
+  bool remove_vm(std::uint64_t vm_id) override;
+  RevocationOutcome revoke_server(std::size_t server) override;
+  void restore_server(std::size_t server) override;
+
+  [[nodiscard]] bool server_active(std::size_t server) const override {
+    return nodes_.at(server)->active;
+  }
+  [[nodiscard]] std::size_t active_server_count() const override;
+
+  [[nodiscard]] std::size_t server_count() const override {
+    return nodes_.size();
+  }
+  [[nodiscard]] hv::Host& host(std::size_t i) override {
+    return nodes_.at(i)->hypervisor.host();
+  }
+  [[nodiscard]] core::LocalDeflationController& controller(std::size_t i) {
+    return *nodes_.at(i)->controller;
+  }
+  [[nodiscard]] hv::Vm* find_vm(std::uint64_t vm_id) override;
+  [[nodiscard]] std::optional<std::size_t> server_of(
+      std::uint64_t vm_id) const override;
+
+  [[nodiscard]] const ClusterStats& stats() const override { return stats_; }
+  [[nodiscard]] res::ResourceVector total_capacity() const override;
+  [[nodiscard]] res::ResourceVector total_allocated() const override;
+  [[nodiscard]] res::ResourceVector total_committed() const override;
+
+  void subscribe_deflation(const DeflationCallback& callback) override;
+  void subscribe_preemption(PreemptionCallback callback) override {
     preemption_callbacks_.push_back(std::move(callback));
   }
-  void subscribe_revocation(RevocationCallback callback) {
+  void subscribe_revocation(RevocationCallback callback) override {
     revocation_callbacks_.push_back(std::move(callback));
   }
-  void subscribe_migration(MigrationCallback callback) {
+  void subscribe_migration(MigrationCallback callback) override {
     migration_callbacks_.push_back(std::move(callback));
   }
 
   [[nodiscard]] const ClusterPartitions& partitions() const noexcept {
     return partitions_;
   }
+  [[nodiscard]] std::vector<std::size_t> pool_servers(
+      std::size_t pool) const override {
+    return partitions_.pool(pool);
+  }
+
+  /// Refreshes the cached views of every server marked dirty since the
+  /// last flush. Mutations (placements, departures, revocations) no longer
+  /// rescan eagerly; the views are exact whenever a placement consults
+  /// them because place_vm flushes first.
+  void flush_views() override;
+
+  /// Fleet-wide free + reclaimable capacity from the cached views (exact:
+  /// flushes first). O(server_count); the sharded scheduler calls this per
+  /// shard on its own flush cadence, not per placement.
+  [[nodiscard]] FleetAggregate aggregate_free();
 
  private:
   struct ServerNode {
@@ -166,6 +240,9 @@ class ClusterManager {
   };
 
   void refresh_view(std::size_t server);
+  /// Queues `server` for a view rescan at the next flush (dedups repeated
+  /// mutations of the same server between placements).
+  void mark_view_dirty(std::size_t server);
   [[nodiscard]] std::vector<std::size_t> candidate_servers(
       const hv::VmSpec& spec) const;
   /// Feasibility from cached views (exact between mutations).
@@ -184,6 +261,8 @@ class ClusterManager {
   std::vector<std::unique_ptr<ServerNode>> nodes_;
   ClusterPartitions partitions_;
   std::unordered_map<std::uint64_t, std::size_t> vm_locations_;
+  std::vector<std::uint8_t> view_dirty_;   ///< per-server dirty flag
+  std::vector<std::size_t> dirty_queue_;   ///< servers awaiting a rescan
   ClusterStats stats_;
   std::vector<PreemptionCallback> preemption_callbacks_;
   std::vector<RevocationCallback> revocation_callbacks_;

@@ -1,0 +1,176 @@
+// Sharded cluster manager: scales placement to 10k+ servers.
+//
+// The flat ClusterManager scans every candidate server per placement,
+// which caps fleets at a few hundred servers. ShardedClusterManager splits
+// the fleet into contiguous shards of servers, each owned by an ordinary
+// ClusterManager, and routes placements with a cheap shard-selection
+// policy (power-of-two-choices by default) over *cached* per-shard
+// aggregate free capacity. The expensive exact scan then runs only inside
+// the chosen shard, so placement cost drops from O(fleet) to
+// O(fleet / shards) + O(shards).
+//
+// Aggregates are maintained as a dirty set: mutations apply a cheap
+// incremental estimate and mark the shard dirty; exact recomputation is
+// batched into flush_views(), which the simulator calls once per simulated
+// tick. Stale aggregates only ever affect routing *order* — every shard
+// remains a fallback candidate, and the shard-internal scan is always
+// exact — so a placement is rejected only when every shard rejects it.
+//
+// Server ids: shard s owns the contiguous global range
+// [first_s, first_s + size_s). All public parameters, PlacementResults and
+// callbacks carry global ids (the flat manager's contract); translation
+// to shard-local ids happens entirely inside this class. With
+// shard_count == 1 the scheduler degenerates to the flat manager:
+// identical decisions, identical stats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_manager.hpp"
+#include "util/rng.hpp"
+
+namespace deflate::cluster {
+
+/// How the scheduler picks the shard that gets to attempt a placement
+/// first. All policies fall back to the remaining shards (ordered by
+/// cached aggregate capacity) when the preferred shard rejects.
+enum class ShardSelectionPolicy {
+  /// Sample two distinct shards, route to the one whose cached aggregate
+  /// fits more copies of the demand. O(1) per placement and within a
+  /// constant of least-loaded balance (the classic two-choices result).
+  PowerOfTwoChoices,
+  /// Scan every shard's cached aggregate and take the best. O(shards).
+  LeastLoaded,
+  /// Rotate through shards regardless of load.
+  RoundRobin,
+};
+
+[[nodiscard]] const char* shard_selection_name(ShardSelectionPolicy p) noexcept;
+
+struct ShardedClusterConfig {
+  /// Fleet-wide configuration; `cluster.server_count` is the total fleet
+  /// size, split near-evenly across shards.
+  ClusterConfig cluster;
+  std::size_t shard_count = 16;
+  ShardSelectionPolicy selection = ShardSelectionPolicy::PowerOfTwoChoices;
+  /// Seed of the (deterministic) routing stream used by power-of-two
+  /// sampling; independent of the market / trace seeds.
+  std::uint64_t routing_seed = 42;
+};
+
+/// Builds the manager a config calls for: the flat ClusterManager when
+/// `shard_count <= 1` (the degenerate case, without the wrapper), the
+/// sharded scheduler otherwise. The one factory every fleet-construction
+/// site shares (simulator, benches, tools).
+[[nodiscard]] std::unique_ptr<ClusterManagerBase> make_cluster_manager(
+    ShardedClusterConfig config);
+
+class ShardedClusterManager : public ClusterManagerBase {
+ public:
+  explicit ShardedClusterManager(ShardedClusterConfig config);
+
+  PlacementResult place_vm(const hv::VmSpec& spec) override;
+  bool remove_vm(std::uint64_t vm_id) override;
+  RevocationOutcome revoke_server(std::size_t server) override;
+  void restore_server(std::size_t server) override;
+
+  [[nodiscard]] bool server_active(std::size_t server) const override;
+  [[nodiscard]] std::size_t active_server_count() const override;
+  [[nodiscard]] std::size_t server_count() const override {
+    return total_servers_;
+  }
+  [[nodiscard]] hv::Host& host(std::size_t server) override;
+  [[nodiscard]] hv::Vm* find_vm(std::uint64_t vm_id) override;
+  [[nodiscard]] std::optional<std::size_t> server_of(
+      std::uint64_t vm_id) const override;
+
+  /// Aggregated over shards, with routing noise removed: when a placement
+  /// shops across several shards, only one attempt's rejection/reclamation
+  /// counts survive (the successful one, or the first failed one on a
+  /// full rejection), so rejections, reclamation_attempts and
+  /// reclamation_failures keep the flat manager's end-to-end semantics
+  /// and the derived failure probabilities stay comparable.
+  [[nodiscard]] const ClusterStats& stats() const override;
+  [[nodiscard]] res::ResourceVector total_capacity() const override;
+  [[nodiscard]] res::ResourceVector total_allocated() const override;
+  [[nodiscard]] res::ResourceVector total_committed() const override;
+
+  [[nodiscard]] std::vector<std::size_t> pool_servers(
+      std::size_t pool) const override;
+
+  void subscribe_deflation(const DeflationCallback& callback) override;
+  void subscribe_preemption(PreemptionCallback callback) override {
+    preemption_callbacks_.push_back(std::move(callback));
+  }
+  void subscribe_revocation(RevocationCallback callback) override {
+    revocation_callbacks_.push_back(std::move(callback));
+  }
+  void subscribe_migration(MigrationCallback callback) override {
+    migration_callbacks_.push_back(std::move(callback));
+  }
+
+  /// Recomputes the cached aggregate of every shard marked dirty since the
+  /// last flush (and flushes the shards' own per-server views).
+  void flush_views() override;
+
+  // --- shard topology (introspection / tests) -------------------------------
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_of_server(std::size_t server) const;
+  [[nodiscard]] ClusterManager& shard(std::size_t s) {
+    return *shards_.at(s).manager;
+  }
+
+ private:
+  struct Shard {
+    std::size_t first = 0;  ///< global id of the shard's server 0
+    std::size_t size = 0;
+    std::unique_ptr<ClusterManager> manager;
+    /// Cached available + deflatable aggregate over the shard's active
+    /// servers; incrementally estimated between flushes.
+    res::ResourceVector free;
+    bool dirty = false;
+  };
+
+  void mark_dirty(std::size_t s);
+  void refresh_shard(Shard& shard);
+  /// Copies of the demand the shard's cached aggregate could hold; the
+  /// routing score (larger = more headroom).
+  [[nodiscard]] static double shard_score(const Shard& shard,
+                                          const res::ResourceVector& demand);
+  /// The selection policy's preferred shards for one placement (only those
+  /// whose cached aggregate fits the demand); at most two for
+  /// power-of-two. The sorted fallback tail is built separately — and only
+  /// when every pick rejected — by route_tail.
+  [[nodiscard]] std::vector<std::size_t> route_picks(
+      const res::ResourceVector& demand);
+  /// Every shard not in `tried`, by descending cached score (ties by
+  /// index).
+  [[nodiscard]] std::vector<std::size_t> route_tail(
+      const res::ResourceVector& demand,
+      const std::vector<std::size_t>& tried);
+
+  ShardedClusterConfig config_;
+  std::size_t total_servers_ = 0;
+  std::vector<Shard> shards_;
+  std::vector<std::size_t> dirty_queue_;
+  std::unordered_map<std::uint64_t, std::size_t> vm_shard_;
+  util::Rng routing_rng_;
+  std::size_t round_robin_next_ = 0;
+  /// Stats increments from failed shard attempts that were routing noise
+  /// (the placement landed elsewhere, or duplicated a rejection already
+  /// charged to the first attempt): subtracted from the per-shard sums so
+  /// stats() stays end-to-end comparable with the flat manager.
+  std::uint64_t spurious_rejections_ = 0;
+  std::uint64_t spurious_reclamation_attempts_ = 0;
+  std::uint64_t spurious_reclamation_failures_ = 0;
+  mutable ClusterStats stats_;
+  std::vector<PreemptionCallback> preemption_callbacks_;
+  std::vector<RevocationCallback> revocation_callbacks_;
+  std::vector<MigrationCallback> migration_callbacks_;
+};
+
+}  // namespace deflate::cluster

@@ -38,6 +38,17 @@ std::optional<transient::CapacityPlan> make_plan(
                      /*deflatable_pools=*/4);
 }
 
+std::unique_ptr<cluster::ClusterManagerBase> make_manager(
+    const SimConfig& config,
+    const std::optional<transient::CapacityPlan>& plan) {
+  cluster::ShardedClusterConfig sharded;
+  sharded.cluster = make_cluster_config(config, plan);
+  sharded.shard_count = config.shard_count;
+  sharded.selection = config.shard_selection;
+  sharded.routing_seed = config.shard_routing_seed;
+  return cluster::make_cluster_manager(std::move(sharded));
+}
+
 }  // namespace
 
 sim::SimTime TraceDrivenSimulator::horizon_of(
@@ -54,7 +65,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
     : records_(std::move(records)),
       config_(config),
       plan_(make_plan(records_, config_)),
-      manager_(make_cluster_config(config_, plan_)),
+      manager_(make_manager(config_, plan_)),
       runtimes_(records_.size()) {
   for (std::size_t i = 0; i < records_.size(); ++i) {
     runtimes_[i].record = &records_[i];
@@ -63,17 +74,22 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
 
   // Partitioned market: the never-revoked set must be exactly the
   // on-demand pool (pool 0). ClusterPartitions rounds pool sizes (one
-  // server per pool + largest remainder), so realign the plan's split with
-  // the realized pool-0 prefix and regenerate the revocation schedule
+  // server per pool + largest remainder) and a sharded fleet scatters
+  // pool 0 across the shards, so realign the plan's split with the
+  // realized pool-0 server set and regenerate the revocation schedule
   // (per-server keyed streams keep this deterministic).
   if (plan_ && config_.partitioned) {
-    const std::size_t pool0 = manager_.partitions().pool(0).size();
-    if (pool0 != plan_->on_demand_servers) {
-      plan_->on_demand_servers = pool0;
-      plan_->transient_servers.clear();
-      for (std::size_t s = pool0; s < config_.server_count; ++s) {
-        plan_->transient_servers.push_back(s);
-      }
+    const std::vector<std::size_t> pool0 = manager_->pool_servers(0);
+    std::vector<std::size_t> transient;
+    transient.reserve(config_.server_count - pool0.size());
+    std::vector<std::uint8_t> on_demand(config_.server_count, 0);
+    for (const std::size_t s : pool0) on_demand[s] = 1;
+    for (std::size_t s = 0; s < config_.server_count; ++s) {
+      if (!on_demand[s]) transient.push_back(s);
+    }
+    if (transient != plan_->transient_servers) {
+      plan_->on_demand_servers = pool0.size();
+      plan_->transient_servers = std::move(transient);
       transient::RevocationEngine engine(config_.market.revocation,
                                          config_.market.seed);
       engine.set_price_trace(&plan_->prices);
@@ -83,7 +99,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
   }
 
   // Track allocation changes (deflation *and* reinflation) per VM.
-  manager_.subscribe_deflation([this](const hv::Vm& vm,
+  manager_->subscribe_deflation([this](const hv::Vm& vm,
                                       const res::ResourceVector& /*old_alloc*/,
                                       const res::ResourceVector& new_alloc) {
     const auto it = id_to_idx_.find(vm.spec().id);
@@ -94,7 +110,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
     runtimes_[it->second].alloc_timeline.emplace_back(now_, fraction);
   });
 
-  manager_.subscribe_preemption(
+  manager_->subscribe_preemption(
       [this](const hv::VmSpec& spec, std::uint64_t /*host*/) {
         const auto it = id_to_idx_.find(spec.id);
         if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
@@ -104,7 +120,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
 
   // Migrations keep running through a revocation, possibly at a deflated
   // launch fraction on the new server; extend the allocation timeline.
-  manager_.subscribe_migration([this](const hv::VmSpec& spec,
+  manager_->subscribe_migration([this](const hv::VmSpec& spec,
                                       std::uint64_t /*from*/,
                                       std::uint64_t /*to*/, double fraction) {
     const auto it = id_to_idx_.find(spec.id);
@@ -116,7 +132,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
 void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
   VmRuntime& vm = runtimes_[idx];
   const hv::VmSpec spec = vm.record->to_spec();
-  const cluster::PlacementResult placement = manager_.place_vm(spec);
+  const cluster::PlacementResult placement = manager_->place_vm(spec);
   if (!placement.ok()) {
     vm.rejected = true;
     return;
@@ -185,7 +201,7 @@ void TraceDrivenSimulator::on_vm_end(std::size_t idx) {
   VmRuntime& vm = runtimes_[idx];
   if (!vm.running) return;  // rejected or already preempted
   finalize(vm, now_);
-  manager_.remove_vm(vm.record->id);
+  manager_->remove_vm(vm.record->id);
 }
 
 SimMetrics TraceDrivenSimulator::run() {
@@ -224,17 +240,21 @@ SimMetrics TraceDrivenSimulator::run() {
   });
 
   for (const Event& event : events) {
+    // Batched view maintenance: dirty views/aggregates accumulated by the
+    // events of one simulated tick are flushed once at the tick boundary
+    // instead of once per event (placement stays exact either way).
+    if (event.at != now_) manager_->flush_views();
     now_ = event.at;
     switch (event.kind) {
       case Event::Kind::VmStart: on_vm_start(event.idx); break;
       case Event::Kind::VmEnd: on_vm_end(event.idx); break;
-      case Event::Kind::Revoke: manager_.revoke_server(event.idx); break;
-      case Event::Kind::Restore: manager_.restore_server(event.idx); break;
+      case Event::Kind::Revoke: manager_->revoke_server(event.idx); break;
+      case Event::Kind::Restore: manager_->restore_server(event.idx); break;
     }
   }
 
   SimMetrics metrics;
-  const cluster::ClusterStats& stats = manager_.stats();
+  const cluster::ClusterStats& stats = manager_->stats();
   metrics.reclamation_attempts = stats.reclamation_attempts;
   metrics.reclamation_failures = stats.reclamation_failures;
   metrics.preemptions = stats.preemptions;
@@ -280,7 +300,7 @@ SimMetrics TraceDrivenSimulator::run() {
       deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;
 
   const res::ResourceVector peak = peak_committed(records_);
-  const res::ResourceVector capacity = manager_.total_capacity();
+  const res::ResourceVector capacity = manager_->total_capacity();
   double oc = 0.0;
   for (const res::Resource r : {res::Resource::Cpu, res::Resource::Memory}) {
     if (capacity[r] > 0.0) oc = std::max(oc, peak[r] / capacity[r] - 1.0);

@@ -13,13 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
-#include <optional>
-
 #include "cluster/cluster_manager.hpp"
 #include "cluster/pricing.hpp"
+#include "cluster/sharded_manager.hpp"
 #include "trace/vm_record.hpp"
 #include "transient/market.hpp"
 
@@ -34,6 +35,14 @@ struct SimConfig {
   bool partitioned = false;
   std::size_t server_count = 40;
   res::ResourceVector server_capacity{48.0, 128.0 * 1024.0, 1e9, 1e9};
+
+  // --- fleet sharding (src/cluster/sharded_manager) ---
+  /// Number of placement shards; 1 = the flat ClusterManager (the sharded
+  /// scheduler's degenerate case, bit-identical decisions).
+  std::size_t shard_count = 1;
+  cluster::ShardSelectionPolicy shard_selection =
+      cluster::ShardSelectionPolicy::PowerOfTwoChoices;
+  std::uint64_t shard_routing_seed = 42;
 
   // --- transient market (src/transient) ---
   /// Enables the spot-price / revocation / portfolio layer. With
@@ -145,7 +154,9 @@ class TraceDrivenSimulator {
   /// Market plan computed before the manager so portfolio pool weights can
   /// shape the cluster partitions. Empty when the market is disabled.
   std::optional<transient::CapacityPlan> plan_;
-  cluster::ClusterManager manager_;
+  /// Flat for shard_count <= 1, sharded otherwise; the simulator only uses
+  /// the common interface.
+  std::unique_ptr<cluster::ClusterManagerBase> manager_;
   std::vector<VmRuntime> runtimes_;
   std::unordered_map<std::uint64_t, std::size_t> id_to_idx_;
   sim::SimTime now_;

@@ -1,0 +1,298 @@
+// Placement-invariant property tests for the sharded cluster manager:
+// no VM is ever resident twice, shard capacity accounting matches the
+// per-server sums, callbacks carry global server ids, and shard_count == 1
+// reproduces the flat manager decision-for-decision.
+#include "cluster/sharded_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace cl = deflate::cluster;
+namespace hv = deflate::hv;
+namespace res = deflate::res;
+namespace util = deflate::util;
+
+namespace {
+
+hv::VmSpec make_spec(std::uint64_t id, int vcpus, double mem_mib,
+                     bool deflatable, double priority = 0.5) {
+  hv::VmSpec spec;
+  spec.id = id;
+  spec.name = "vm-" + std::to_string(id);
+  spec.vcpus = vcpus;
+  spec.memory_mib = mem_mib;
+  spec.disk_bw_mbps = 0.0;
+  spec.net_bw_mbps = 0.0;
+  spec.deflatable = deflatable;
+  spec.priority = priority;
+  return spec;
+}
+
+cl::ShardedClusterConfig sharded_config(std::size_t servers, std::size_t shards,
+                                        cl::ReclamationMode mode =
+                                            cl::ReclamationMode::Deflation) {
+  cl::ShardedClusterConfig config;
+  config.cluster.server_count = servers;
+  config.cluster.server_capacity = {16.0, 32768.0, 1e9, 1e9};
+  config.cluster.mode = mode;
+  config.shard_count = shards;
+  return config;
+}
+
+/// Draws a random VM spec; the draw sequence depends only on `rng` and
+/// `id`, so two managers fed the same stream see the same workload.
+hv::VmSpec random_spec(util::Rng& rng, std::uint64_t id) {
+  static const int kCores[] = {2, 4, 8};
+  const int vcpus = kCores[rng.uniform_int(0, 2)];
+  const bool deflatable = rng.bernoulli(0.5);
+  const double priority =
+      deflatable ? 0.2 * static_cast<double>(rng.uniform_int(1, 4)) : 1.0;
+  return make_spec(id, vcpus, vcpus * 2048.0, deflatable, priority);
+}
+
+/// Every VM resident on some host appears exactly once fleet-wide, and
+/// server_of/find_vm agree with the hosts' own bookkeeping.
+void expect_single_residency(cl::ClusterManagerBase& manager) {
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  for (std::size_t s = 0; s < manager.server_count(); ++s) {
+    for (const hv::Vm* vm : manager.host(s).vms()) {
+      const auto [it, inserted] = seen.emplace(vm->spec().id, s);
+      EXPECT_TRUE(inserted) << "vm " << vm->spec().id << " resident on server "
+                            << it->second << " and " << s;
+      EXPECT_EQ(manager.server_of(vm->spec().id).value(), s);
+      EXPECT_NE(manager.find_vm(vm->spec().id), nullptr);
+    }
+  }
+}
+
+/// Aggregate accounting equals the per-server sums.
+void expect_accounting_matches(cl::ClusterManagerBase& manager) {
+  res::ResourceVector allocated, committed;
+  for (std::size_t s = 0; s < manager.server_count(); ++s) {
+    allocated += manager.host(s).allocated();
+    committed += manager.host(s).committed();
+  }
+  for (const res::Resource r : res::all_resources) {
+    EXPECT_DOUBLE_EQ(manager.total_allocated()[r], allocated[r]);
+    EXPECT_DOUBLE_EQ(manager.total_committed()[r], committed[r]);
+  }
+}
+
+}  // namespace
+
+TEST(ShardedClusterManager, DegeneratesToFlatManagerExactly) {
+  cl::ShardedClusterConfig config = sharded_config(24, 1);
+  cl::ClusterManager flat(config.cluster);
+  cl::ShardedClusterManager sharded(config);
+
+  util::Rng rng(13);
+  std::vector<std::uint64_t> live;
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    if (!live.empty() && rng.bernoulli(0.3)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const std::uint64_t victim = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_EQ(flat.remove_vm(victim), sharded.remove_vm(victim));
+      continue;
+    }
+    const hv::VmSpec spec = random_spec(rng, id);
+    const cl::PlacementResult a = flat.place_vm(spec);
+    const cl::PlacementResult b = sharded.place_vm(spec);
+    EXPECT_EQ(a.status, b.status) << "vm " << id;
+    EXPECT_EQ(a.host_id, b.host_id) << "vm " << id;
+    EXPECT_DOUBLE_EQ(a.launch_fraction, b.launch_fraction) << "vm " << id;
+    if (a.ok()) live.push_back(id);
+  }
+
+  EXPECT_EQ(flat.stats().placements, sharded.stats().placements);
+  EXPECT_EQ(flat.stats().rejections, sharded.stats().rejections);
+  EXPECT_EQ(flat.stats().deflated_launches, sharded.stats().deflated_launches);
+  for (const res::Resource r : res::all_resources) {
+    EXPECT_DOUBLE_EQ(flat.total_committed()[r], sharded.total_committed()[r]);
+    EXPECT_DOUBLE_EQ(flat.total_allocated()[r], sharded.total_allocated()[r]);
+  }
+}
+
+TEST(ShardedClusterManager, NoVmPlacedTwiceAcrossRandomizedChurn) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 23ULL, 71ULL, 2020ULL}) {
+    cl::ShardedClusterManager manager(sharded_config(64, 8));
+    util::Rng rng(seed);
+    std::vector<std::uint64_t> live;
+    std::uint64_t next_id = 1;
+    for (int step = 0; step < 600; ++step) {
+      const double roll = rng.u01();
+      if (roll < 0.55 || live.empty()) {
+        const hv::VmSpec spec = random_spec(rng, next_id++);
+        if (manager.place_vm(spec).ok()) live.push_back(spec.id);
+      } else if (roll < 0.85) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        EXPECT_TRUE(manager.remove_vm(live[pick]));
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else if (roll < 0.95) {
+        const auto server = static_cast<std::size_t>(rng.uniform_int(0, 63));
+        if (manager.server_active(server) &&
+            manager.active_server_count() > 48) {
+          manager.revoke_server(server);
+          // Drop ids the revocation killed.
+          std::erase_if(live, [&](std::uint64_t id) {
+            return manager.find_vm(id) == nullptr;
+          });
+        }
+      } else {
+        const auto server = static_cast<std::size_t>(rng.uniform_int(0, 63));
+        if (!manager.server_active(server)) manager.restore_server(server);
+      }
+    }
+    expect_single_residency(manager);
+    expect_accounting_matches(manager);
+    for (const std::uint64_t id : live) {
+      EXPECT_NE(manager.find_vm(id), nullptr) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ShardedClusterManager, CapacityAccountingMatchesPerServerSum) {
+  cl::ShardedClusterManager manager(sharded_config(20, 4));
+  for (std::uint64_t id = 1; id <= 60; ++id) {
+    manager.place_vm(make_spec(id, 4, 8192.0, id % 2 == 0));
+  }
+  expect_accounting_matches(manager);
+  EXPECT_DOUBLE_EQ(manager.total_capacity().cpu(), 20 * 16.0);
+}
+
+TEST(ShardedClusterManager, MigrationCallbacksCarryGlobalServerIds) {
+  // 12 servers in 4 shards of 3; fill a server in the *last* shard so the
+  // local->global translation (local ids 0..2) is actually exercised.
+  cl::ShardedClusterManager manager(sharded_config(12, 4));
+  std::uint64_t id = 1;
+  std::size_t victim_server = 0;
+  std::uint64_t victim_vm = 0;
+  for (; id <= 200 && victim_vm == 0; ++id) {
+    const cl::PlacementResult placed =
+        manager.place_vm(make_spec(id, 4, 8192.0, /*deflatable=*/true));
+    ASSERT_TRUE(placed.ok());
+    if (placed.host_id >= 9) {  // shard 3 owns global ids 9..11
+      victim_server = placed.host_id;
+      victim_vm = id;
+    }
+  }
+  ASSERT_NE(victim_vm, 0U) << "no placement landed in the last shard";
+
+  std::size_t migrations = 0;
+  manager.subscribe_migration([&](const hv::VmSpec& spec, std::uint64_t from,
+                                  std::uint64_t to, double /*fraction*/) {
+    ++migrations;
+    EXPECT_EQ(from, victim_server);
+    EXPECT_NE(to, victim_server);
+    EXPECT_LT(to, manager.server_count());
+    // The callback's destination is where the VM actually lives now.
+    EXPECT_EQ(manager.server_of(spec.id).value(), to);
+  });
+  std::size_t revocation_events = 0;
+  manager.subscribe_revocation(
+      [&](std::uint64_t host, const cl::RevocationOutcome& outcome) {
+        ++revocation_events;
+        EXPECT_EQ(host, victim_server);
+        EXPECT_GE(outcome.vms_displaced, 1U);
+      });
+
+  const cl::RevocationOutcome outcome = manager.revoke_server(victim_server);
+  EXPECT_EQ(revocation_events, 1U);
+  EXPECT_EQ(migrations, outcome.vms_migrated);
+  EXPECT_FALSE(manager.server_active(victim_server));
+  expect_single_residency(manager);
+}
+
+TEST(ShardedClusterManager, PreemptionCallbacksCarryGlobalServerIds) {
+  cl::ShardedClusterManager manager(
+      sharded_config(8, 4, cl::ReclamationMode::Preemption));
+  std::unordered_map<std::uint64_t, std::size_t> placed_on;
+  for (std::uint64_t id = 1; id <= 16; ++id) {
+    const cl::PlacementResult placed =
+        manager.place_vm(make_spec(id, 8, 16384.0, /*deflatable=*/true, 0.2));
+    ASSERT_TRUE(placed.ok());
+    placed_on[id] = placed.host_id;
+  }
+  std::size_t kills = 0;
+  manager.subscribe_preemption([&](const hv::VmSpec& spec, std::uint64_t host) {
+    ++kills;
+    EXPECT_EQ(placed_on.at(spec.id), host);
+  });
+  const std::size_t victim = placed_on.at(16);
+  const cl::RevocationOutcome outcome = manager.revoke_server(victim);
+  EXPECT_EQ(outcome.vms_killed, kills);
+  EXPECT_GE(kills, 1U);
+}
+
+TEST(ShardedClusterManager, RejectionStatsAreEndToEnd) {
+  // Two single-server shards, both full: a third on-demand VM is turned
+  // away by *both* shards but must count as one cluster-level rejection,
+  // matching the flat manager's semantics.
+  cl::ShardedClusterManager manager(sharded_config(2, 2));
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 16, 32768.0, false)).ok());
+  ASSERT_TRUE(manager.place_vm(make_spec(2, 16, 32768.0, false)).ok());
+  EXPECT_FALSE(manager.place_vm(make_spec(3, 16, 32768.0, false)).ok());
+  EXPECT_EQ(manager.stats().rejections, 1U);
+  EXPECT_EQ(manager.stats().placements, 2U);
+  // The reclamation counters are end-to-end too: the flat manager charges
+  // one failed attempt for this workload, not one per shard shopped.
+  EXPECT_EQ(manager.stats().reclamation_attempts, 1U);
+  EXPECT_EQ(manager.stats().reclamation_failures, 1U);
+}
+
+TEST(ShardedClusterManager, PoolServersCoverFleetWithoutOverlap) {
+  cl::ShardedClusterConfig config = sharded_config(20, 4);
+  config.cluster.partitioned = true;
+  config.cluster.pool_weights = {0.5, 0.5};
+  cl::ShardedClusterManager manager(config);
+
+  std::unordered_set<std::size_t> seen;
+  std::size_t total = 0;
+  for (std::size_t pool = 0; pool < 2; ++pool) {
+    for (const std::size_t server : manager.pool_servers(pool)) {
+      EXPECT_LT(server, manager.server_count());
+      EXPECT_TRUE(seen.insert(server).second)
+          << "server " << server << " in two pools";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, manager.server_count());
+}
+
+TEST(ShardedClusterManager, ShardCountClampedToFleetSize) {
+  // More shards than servers: every shard still owns at least one server.
+  cl::ShardedClusterManager manager(sharded_config(3, 16));
+  EXPECT_EQ(manager.shard_count(), 3U);
+  EXPECT_EQ(manager.server_count(), 3U);
+  EXPECT_TRUE(manager.place_vm(make_spec(1, 4, 8192.0, false)).ok());
+}
+
+TEST(ShardedClusterManager, SelectionPoliciesAllPlaceAndBalance) {
+  for (const auto policy : {cl::ShardSelectionPolicy::PowerOfTwoChoices,
+                            cl::ShardSelectionPolicy::LeastLoaded,
+                            cl::ShardSelectionPolicy::RoundRobin}) {
+    cl::ShardedClusterConfig config = sharded_config(16, 4);
+    config.selection = policy;
+    cl::ShardedClusterManager manager(config);
+    for (std::uint64_t id = 1; id <= 32; ++id) {
+      ASSERT_TRUE(manager.place_vm(make_spec(id, 4, 8192.0, false)).ok())
+          << cl::shard_selection_name(policy);
+    }
+    // No shard hoards the whole workload: every shard's servers hold
+    // something (32 x 4 cores over 4 shards of 64 cores each).
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+      double committed = 0.0;
+      for (std::size_t local = 0; local < 4; ++local) {
+        committed += manager.host(shard * 4 + local).committed().cpu();
+      }
+      EXPECT_GT(committed, 0.0) << cl::shard_selection_name(policy)
+                                << " shard " << shard;
+    }
+  }
+}

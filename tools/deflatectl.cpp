@@ -6,11 +6,16 @@
 //               [--mode deflation|preemption] [--mechanism hybrid|...]
 //               [--placement fitness|first-fit|best-fit|worst-fit]
 //               [--partitioned] [--no-reinflate]
+//               [--shards N] [--shard-policy p2c|least-loaded|round-robin]
 //   deflatectl feasibility --in t.csv
 //   deflatectl revoke-sim --in t.csv [--servers N] [--model poisson|temporal|price]
 //               [--rate R] [--bid B] [--no-portfolio] [--od-share S]
 //               [--floor F] [--risk A] [--mode deflation|preemption]
 //               [--partitioned] [--seed S]
+//               [--shards N] [--shard-policy p2c|least-loaded|round-robin]
+//
+// --shards > 1 runs the fleet through the sharded cluster manager
+// (src/cluster/sharded_manager.hpp); 1 (default) is the flat manager.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cmath>
@@ -73,12 +78,14 @@ int usage() {
       "  deflatectl trace stats --in FILE [--deflation D]\n"
       "  deflatectl simulate --in FILE --overcommit O [--policy P] [--mode M]\n"
       "             [--mechanism K] [--placement S] [--partitioned]\n"
-      "             [--no-reinflate] [--servers N]\n"
+      "             [--no-reinflate] [--servers N] [--shards N]\n"
+      "             [--shard-policy p2c|least-loaded|round-robin]\n"
       "  deflatectl feasibility --in FILE\n"
       "  deflatectl revoke-sim --in FILE [--servers N] [--model M] [--rate R]\n"
       "             [--bid B] [--no-portfolio] [--od-share S] [--floor F]\n"
       "             [--risk A] [--mode deflation|preemption] [--partitioned]\n"
-      "             [--seed S]\n";
+      "             [--seed S] [--shards N]\n"
+      "             [--shard-policy p2c|least-loaded|round-robin]\n";
   return 1;
 }
 
@@ -116,6 +123,27 @@ std::optional<cluster::PlacementStrategy> parse_placement(
   if (name == "best-fit") return cluster::PlacementStrategy::BestFit;
   if (name == "worst-fit") return cluster::PlacementStrategy::WorstFit;
   return std::nullopt;
+}
+
+std::optional<cluster::ShardSelectionPolicy> parse_shard_policy(
+    const std::string& name) {
+  if (name == "p2c" || name == "power-of-two") {
+    return cluster::ShardSelectionPolicy::PowerOfTwoChoices;
+  }
+  if (name == "least-loaded") return cluster::ShardSelectionPolicy::LeastLoaded;
+  if (name == "round-robin") return cluster::ShardSelectionPolicy::RoundRobin;
+  return std::nullopt;
+}
+
+/// Applies the shared --shards / --shard-policy flags; returns false on a
+/// bad policy name.
+bool apply_shard_flags(const Args& args, simcluster::SimConfig& config) {
+  config.shard_count =
+      static_cast<std::size_t>(args.get_double("shards", 1));
+  const auto policy = parse_shard_policy(args.get("shard-policy", "p2c"));
+  if (!policy) return false;
+  config.shard_selection = *policy;
+  return true;
 }
 
 int cmd_trace_generate(const Args& args) {
@@ -182,6 +210,7 @@ int cmd_simulate(const Args& args) {
                     : cluster::ReclamationMode::Deflation;
   config.partitioned = args.has("partitioned");
   config.reinflate_on_departure = !args.has("no-reinflate");
+  if (!apply_shard_flags(args, config)) return usage();
 
   const double overcommit = args.get_double("overcommit", 0.0);
   if (args.has("servers")) {
@@ -204,6 +233,12 @@ int cmd_simulate(const Args& args) {
   util::Table table({"metric", "value"});
   table.add_row({"policy", core::policy_kind_name(config.policy)});
   table.add_row({"mechanism", mech::mechanism_kind_name(config.mechanism)});
+  if (config.shard_count > 1) {
+    table.add_row({"shards",
+                   std::to_string(config.shard_count) + " (" +
+                       cluster::shard_selection_name(config.shard_selection) +
+                       ")"});
+  }
   table.add_row({"achieved overcommit",
                  util::format_double(100 * metrics.achieved_overcommit, 1) + "%"});
   table.add_row({"failure probability",
@@ -238,6 +273,7 @@ int cmd_revoke_sim(const Args& args) {
   // With --partitioned the portfolio's pool weights shape the partitions
   // and the on-demand pool is exactly the never-revoked server set.
   config.partitioned = args.has("partitioned");
+  if (!apply_shard_flags(args, config)) return usage();
   if (args.has("servers")) {
     config.server_count =
         static_cast<std::size_t>(args.get_double("servers", 40));
@@ -268,6 +304,9 @@ int cmd_revoke_sim(const Args& args) {
   table.add_row({"revocation model",
                  transient::revocation_model_name(*model)});
   table.add_row({"servers", std::to_string(config.server_count)});
+  if (config.shard_count > 1) {
+    table.add_row({"shards", std::to_string(config.shard_count)});
+  }
   table.add_row({"transient share",
                  util::format_double(100 * metrics.transient_server_share, 1) +
                      "%"});
