@@ -76,8 +76,10 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
   // on-demand pool (pool 0). ClusterPartitions rounds pool sizes (one
   // server per pool + largest remainder) and a sharded fleet scatters
   // pool 0 across the shards, so realign the plan's split with the
-  // realized pool-0 server set and regenerate the revocation schedule
-  // (per-server keyed streams keep this deterministic).
+  // realized pool-0 server set: the engine re-splits the transient set
+  // across its markets by portfolio weight and regenerates every
+  // revocation schedule (per-server keyed streams keep this
+  // deterministic).
   if (plan_ && config_.partitioned) {
     const std::vector<std::size_t> pool0 = manager_->pool_servers(0);
     std::vector<std::size_t> transient;
@@ -88,13 +90,10 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
       if (!on_demand[s]) transient.push_back(s);
     }
     if (transient != plan_->transient_servers) {
-      plan_->on_demand_servers = pool0.size();
-      plan_->transient_servers = std::move(transient);
-      transient::RevocationEngine engine(config_.market.revocation,
-                                         config_.market.seed);
-      engine.set_price_trace(&plan_->prices);
-      plan_->revocations =
-          engine.schedule(plan_->transient_servers, horizon_of(records_));
+      const transient::TransientMarketEngine engine(config_.market);
+      engine.rebind_transient_servers(*plan_, pool0.size(),
+                                      std::move(transient),
+                                      horizon_of(records_));
     }
   }
 

@@ -47,7 +47,11 @@ struct SimConfig {
   // --- transient market (src/transient) ---
   /// Enables the spot-price / revocation / portfolio layer. With
   /// `market.revocation.model == None` and `market.use_portfolio == false`
-  /// the simulation is identical to the non-market one.
+  /// the simulation is identical to the non-market one. Multi-market
+  /// fleets configure `market.markets` (one MarketDef per zone/instance
+  /// type) plus `market.correlation`; the plan then spreads the transient
+  /// servers across the markets by portfolio weight, with one revocation
+  /// stream per market.
   bool market_enabled = false;
   transient::MarketEngineConfig market;
 };

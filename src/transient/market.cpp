@@ -3,12 +3,158 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace deflate::transient {
 
+namespace {
+
+/// Seed of market m's revocation engine. Market 0 keeps the plan seed so a
+/// one-market plan is bit-identical to the legacy single-market engine.
+std::uint64_t market_seed(std::uint64_t seed, std::size_t market) {
+  return seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(market);
+}
+
+/// Splits `total` servers across markets proportionally to `weights` by
+/// largest-remainder rounding (ties to the lower index). A non-positive
+/// total weight puts everything in market 0.
+std::vector<std::size_t> split_counts(std::size_t total,
+                                      const std::vector<double>& weights) {
+  const std::size_t k = weights.size();
+  std::vector<std::size_t> counts(k, 0);
+  if (k == 0 || total == 0) return counts;
+  double sum = 0.0;
+  for (const double w : weights) sum += std::max(0.0, w);
+  if (sum <= 0.0) {
+    counts[0] = total;
+    return counts;
+  }
+  std::vector<double> remainder(k, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const double exact =
+        std::max(0.0, weights[m]) / sum * static_cast<double>(total);
+    counts[m] = static_cast<std::size_t>(std::floor(exact));
+    remainder[m] = exact - std::floor(exact);
+    assigned += counts[m];
+  }
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remainder[a] != remainder[b]) return remainder[a] > remainder[b];
+    return a < b;
+  });
+  for (std::size_t i = 0; assigned < total; ++i) {
+    ++counts[order[i % k]];
+    ++assigned;
+  }
+  return counts;
+}
+
+/// The on-demand pool and the all-on-demand counterfactual are billed at
+/// one rate, so heterogeneous per-market on-demand prices have no
+/// well-defined cost report — reject them up front.
+void validate_markets(const std::vector<MarketDef>& defs) {
+  for (const MarketDef& def : defs) {
+    if (def.price.on_demand_price != defs.front().price.on_demand_price) {
+      throw std::invalid_argument(
+          "TransientMarketEngine: markets must share one on-demand rate");
+    }
+  }
+}
+
+/// Sample correlation of the realized price traces. The optimizer prices
+/// the co-movement that actually materialized — the configured generator
+/// coupling *and* the common shocks — mirroring how MarketSpec estimates
+/// mean/variance from the trace ("portfolio construction from market
+/// history", Sharma et al. §4).
+std::vector<std::vector<double>> empirical_correlation(
+    const std::vector<MarketPlan>& markets) {
+  const std::size_t k = markets.size();
+  std::vector<std::vector<double>> corr(k, std::vector<double>(k, 0.0));
+  std::size_t n = markets.empty() ? 0 : markets[0].prices.samples().size();
+  for (const MarketPlan& market : markets) {
+    n = std::min(n, market.prices.samples().size());
+  }
+  std::vector<double> mean(k, 0.0), stddev(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    corr[i][i] = 1.0;
+    if (n == 0) continue;
+    for (std::size_t t = 0; t < n; ++t) {
+      mean[i] += markets[i].prices.samples()[t];
+    }
+    mean[i] /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double d = markets[i].prices.samples()[t] - mean[i];
+      var += d * d;
+    }
+    stddev[i] = std::sqrt(var / static_cast<double>(n));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (stddev[i] <= 0.0 || stddev[j] <= 0.0) continue;
+      double cov = 0.0;
+      for (std::size_t t = 0; t < n; ++t) {
+        cov += (markets[i].prices.samples()[t] - mean[i]) *
+               (markets[j].prices.samples()[t] - mean[j]);
+      }
+      cov /= static_cast<double>(n);
+      const double rho =
+          std::clamp(cov / (stddev[i] * stddev[j]), -1.0, 1.0);
+      corr[i][j] = rho;
+      corr[j][i] = rho;
+    }
+  }
+  return corr;
+}
+
+}  // namespace
+
 TransientMarketEngine::TransientMarketEngine(MarketEngineConfig config)
-    : config_(config) {}
+    : config_(std::move(config)) {}
+
+void TransientMarketEngine::schedule_markets(CapacityPlan& plan,
+                                             sim::SimTime horizon) const {
+  const std::vector<MarketDef> defs = config_.effective_markets();
+  const std::size_t market_count = plan.markets.size();
+  if (defs.size() != market_count) {
+    throw std::invalid_argument(
+        "TransientMarketEngine: plan was made for a different market list");
+  }
+
+  std::vector<double> weights(market_count, 0.0);
+  for (std::size_t m = 0; m < market_count; ++m) {
+    weights[m] = plan.markets[m].weight;
+  }
+  const std::vector<std::size_t> counts =
+      split_counts(plan.transient_servers.size(), weights);
+
+  std::size_t next = 0;
+  std::size_t total_events = 0;
+  for (std::size_t m = 0; m < market_count; ++m) {
+    MarketPlan& market = plan.markets[m];
+    market.servers.assign(
+        plan.transient_servers.begin() + static_cast<std::ptrdiff_t>(next),
+        plan.transient_servers.begin() +
+            static_cast<std::ptrdiff_t>(next + counts[m]));
+    next += counts[m];
+    RevocationEngine engine(defs[m].revocation,
+                            market_seed(config_.seed, m));
+    engine.set_price_trace(&market.prices);
+    market.revocations = engine.schedule(market.servers, horizon);
+    total_events += market.revocations.size();
+  }
+
+  plan.revocations.clear();
+  plan.revocations.reserve(total_events);
+  for (const MarketPlan& market : plan.markets) {
+    plan.revocations.insert(plan.revocations.end(), market.revocations.begin(),
+                            market.revocations.end());
+  }
+  std::sort(plan.revocations.begin(), plan.revocations.end(), schedule_before);
+}
 
 CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
                                          sim::SimTime horizon,
@@ -16,24 +162,63 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
   CapacityPlan out;
   if (server_count == 0) return out;
 
-  const SpotPriceModel price_model(config_.price, config_.seed, /*stream=*/0);
-  out.prices = price_model.generate(horizon);
+  const std::vector<MarketDef> defs = config_.effective_markets();
+  validate_markets(defs);
+  const std::size_t market_count = defs.size();
 
-  RevocationEngine revocations(config_.revocation, config_.seed);
-  revocations.set_price_trace(&out.prices);
+  // K coupled price traces; K = 1 with identity correlation and no common
+  // shocks degenerates to the legacy OU + shock process, bit for bit.
+  CorrelatedPriceConfig price_config;
+  price_config.markets.reserve(market_count);
+  for (const MarketDef& def : defs) price_config.markets.push_back(def.price);
+  price_config.correlation = config_.correlation;
+  price_config.common_shock_rate_per_hour = config_.common_shock_rate_per_hour;
+  price_config.common_shock_multiplier = config_.common_shock_multiplier;
+  price_config.common_shock_decay_hours = config_.common_shock_decay_hours;
+  std::vector<PriceTrace> traces =
+      CorrelatedPriceModel(std::move(price_config), config_.seed, /*stream=*/0)
+          .generate(horizon);
+
+  out.markets.resize(market_count);
+  for (std::size_t m = 0; m < market_count; ++m) {
+    out.markets[m].name = defs[m].name;
+    out.markets[m].prices = std::move(traces[m]);
+  }
+  out.prices = out.markets[0].prices;
+
+  // Per-market estimates for the optimizer, from each market's own trace
+  // and revocation model.
+  std::vector<MarketSpec> specs(market_count);
+  for (std::size_t m = 0; m < market_count; ++m) {
+    RevocationEngine engine(defs[m].revocation, market_seed(config_.seed, m));
+    engine.set_price_trace(&out.markets[m].prices);
+    specs[m] = MarketSpec::from_observations(defs[m].name,
+                                             out.markets[m].prices, engine);
+    out.markets[m].spec = specs[m];
+  }
 
   double on_demand_share = std::clamp(config_.on_demand_share, 0.0, 1.0);
   if (config_.use_portfolio) {
-    const MarketSpec market = MarketSpec::from_observations(
-        "spot", out.prices, revocations);
     const PortfolioManager manager(config_.portfolio);
-    out.portfolio = manager.optimize({&market, 1});
+    // Multi-market mode couples price risk with the correlation the
+    // traces actually realized (configured coupling + common shocks); the
+    // legacy single market keeps the scalar market_correlation path.
+    out.portfolio = config_.markets.empty()
+                        ? manager.optimize(specs)
+                        : manager.optimize(specs,
+                                           empirical_correlation(out.markets));
     out.pool_weights = manager.pool_weights(out.portfolio, deflatable_pools);
     on_demand_share = out.portfolio.on_demand_weight();
   } else {
-    out.portfolio.weights = {on_demand_share, 1.0 - on_demand_share};
-    out.portfolio.expected_cost =
-        on_demand_share + (1.0 - on_demand_share) * out.prices.mean();
+    out.portfolio.weights.assign(market_count + 1, 0.0);
+    out.portfolio.weights[0] = on_demand_share;
+    out.portfolio.expected_cost = on_demand_share;
+    const double per_market =
+        (1.0 - on_demand_share) / static_cast<double>(market_count);
+    for (std::size_t m = 0; m < market_count; ++m) {
+      out.portfolio.weights[m + 1] = per_market;
+      out.portfolio.expected_cost += per_market * out.markets[m].prices.mean();
+    }
     out.portfolio.expected_saving = 1.0 - out.portfolio.expected_cost;
     out.pool_weights.assign(deflatable_pools + 1, 0.0);
     out.pool_weights[0] = on_demand_share;
@@ -41,6 +226,9 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
       out.pool_weights[k] =
           (1.0 - on_demand_share) / static_cast<double>(deflatable_pools);
     }
+  }
+  for (std::size_t m = 0; m < market_count; ++m) {
+    out.markets[m].weight = out.portfolio.weights[m + 1];
   }
 
   // Round the on-demand share to whole servers; a nonzero share always
@@ -56,8 +244,18 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
   for (std::size_t s = out.on_demand_servers; s < server_count; ++s) {
     out.transient_servers.push_back(s);
   }
-  out.revocations = revocations.schedule(out.transient_servers, horizon);
+  schedule_markets(out, horizon);
   return out;
+}
+
+void TransientMarketEngine::rebind_transient_servers(
+    CapacityPlan& plan, std::size_t on_demand_count,
+    std::vector<std::size_t> transient_servers, sim::SimTime horizon) const {
+  if (plan.markets.empty()) return;  // empty plan (server_count == 0)
+  std::sort(transient_servers.begin(), transient_servers.end());
+  plan.on_demand_servers = on_demand_count;
+  plan.transient_servers = std::move(transient_servers);
+  schedule_markets(plan, horizon);
 }
 
 CostReport TransientMarketEngine::cost_report(const CapacityPlan& plan,
@@ -66,7 +264,9 @@ CostReport TransientMarketEngine::cost_report(const CapacityPlan& plan,
   CostReport report;
   const double hours = horizon.hours();
   if (hours <= 0.0 || cores_per_server <= 0.0) return report;
-  const double on_demand_rate = config_.price.on_demand_price;
+  const std::vector<MarketDef> defs = config_.effective_markets();
+  validate_markets(defs);
+  const double on_demand_rate = defs.front().price.on_demand_price;
   const std::size_t fleet =
       plan.on_demand_servers + plan.transient_servers.size();
 
@@ -76,40 +276,50 @@ CostReport TransientMarketEngine::cost_report(const CapacityPlan& plan,
   report.all_on_demand_cost =
       static_cast<double>(fleet) * cores_per_server * hours * on_demand_rate;
 
-  // Bill each transient server's *held* intervals at the spot price: one
-  // pass over the sorted merged schedule, tracking per-server held state.
-  // Servers start held at t=0 (any bid-under-water start revokes at t=0).
-  struct HeldState {
-    sim::SimTime from;
-    bool held = true;
-  };
-  std::unordered_map<std::size_t, HeldState> states;
-  states.reserve(plan.transient_servers.size());
-  for (const std::size_t server : plan.transient_servers) states[server] = {};
+  // Bill each market's servers' *held* intervals at that market's spot
+  // price: one pass over its sorted schedule, tracking per-server held
+  // state. Servers start held at t=0 (a bid-under-water start revokes at
+  // t=0).
+  report.per_market.reserve(plan.markets.size());
+  for (const MarketPlan& market : plan.markets) {
+    CostReport::MarketCost entry;
+    entry.name = market.name;
+    entry.servers = market.servers.size();
 
-  const auto bill = [&](HeldState& state, sim::SimTime until) {
-    report.transient_cost +=
-        plan.prices.integral_over(state.from, until) * cores_per_server;
-    report.transient_core_hours +=
-        (until - state.from).hours() * cores_per_server;
-  };
-  for (const RevocationEvent& event : plan.revocations) {
-    const auto it = states.find(event.server);
-    if (it == states.end()) continue;
-    HeldState& state = it->second;
-    if (event.revoke && state.held) {
-      bill(state, event.at);
-      state.held = false;
-    } else if (!event.revoke && !state.held) {
-      state.from = event.at;
-      state.held = true;
+    struct HeldState {
+      sim::SimTime from;
+      bool held = true;
+    };
+    std::unordered_map<std::size_t, HeldState> states;
+    states.reserve(market.servers.size());
+    for (const std::size_t server : market.servers) states[server] = {};
+
+    const auto bill = [&](HeldState& state, sim::SimTime until) {
+      entry.cost +=
+          market.prices.integral_over(state.from, until) * cores_per_server;
+      entry.core_hours += (until - state.from).hours() * cores_per_server;
+    };
+    for (const RevocationEvent& event : market.revocations) {
+      const auto it = states.find(event.server);
+      if (it == states.end()) continue;
+      HeldState& state = it->second;
+      if (event.revoke && state.held) {
+        bill(state, event.at);
+        state.held = false;
+      } else if (!event.revoke && !state.held) {
+        state.from = event.at;
+        state.held = true;
+      }
     }
-  }
-  // Iterate in server order (not map order) so the floating-point
-  // summation order — and thus the report — is bit-stable.
-  for (const std::size_t server : plan.transient_servers) {
-    HeldState& state = states[server];
-    if (state.held) bill(state, horizon);
+    // Iterate in server order (not map order) so the floating-point
+    // summation order — and thus the report — is bit-stable.
+    for (const std::size_t server : market.servers) {
+      HeldState& state = states[server];
+      if (state.held) bill(state, horizon);
+    }
+    report.transient_cost += entry.cost;
+    report.transient_core_hours += entry.core_hours;
+    report.per_market.push_back(std::move(entry));
   }
   return report;
 }

@@ -1,13 +1,18 @@
 // TransientMarketEngine: the facade that turns a plain cluster into a
-// transient one. It owns the spot-price process, the revocation engine and
-// the portfolio manager, and produces a CapacityPlan — which servers are
-// bought on-demand vs. on the transient market, the partition pool weights
-// implied by the portfolio, the revocation schedule for the transient
-// servers, and the cost accounting against an all-on-demand baseline.
+// transient one. It owns the spot-price processes (one per market, coupled
+// by a correlation matrix), one revocation engine per market and the
+// portfolio manager, and produces a CapacityPlan — which servers are
+// bought on-demand vs. on which transient market, the partition pool
+// weights implied by the portfolio, the per-market revocation schedules,
+// and the per-market cost accounting against an all-on-demand baseline.
+//
+// One market with identity correlation is the legacy single-market engine,
+// decision-for-decision (tests/test_transient_multimarket.cpp pins this).
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -17,10 +22,35 @@
 
 namespace deflate::transient {
 
+/// One purchasable transient market (a zone / instance type): its own
+/// spot-price process and its own revocation model + bid.
+struct MarketDef {
+  std::string name = "spot";
+  SpotPriceConfig price;
+  RevocationConfig revocation;
+};
+
 struct MarketEngineConfig {
+  /// Legacy single-market parameters, used when `markets` is empty.
   SpotPriceConfig price;
   RevocationConfig revocation;
   PortfolioConfig portfolio;
+  /// Multi-market mode: when non-empty these markets replace the legacy
+  /// price/revocation pair above. One entry reproduces the legacy plan
+  /// decision-for-decision (same seed, same trace, same schedule).
+  std::vector<MarketDef> markets;
+  /// K x K innovation correlation across `markets` (shared market factor
+  /// plus per-market noise, via Cholesky). This couples the *generated*
+  /// traces; the portfolio optimizer prices the correlation the traces
+  /// actually realize — which folds in the common shocks below — in place
+  /// of the scalar portfolio.market_correlation of single-market mode.
+  /// Empty = identity.
+  std::vector<std::vector<double>> correlation;
+  /// Provider-wide capacity crunches that spike every market at once
+  /// (see CorrelatedPriceConfig); 0 disables.
+  double common_shock_rate_per_hour = 0.0;
+  double common_shock_multiplier = 4.0;
+  double common_shock_decay_hours = 1.5;
   /// When true the on-demand/transient split comes from mean-variance
   /// optimization; when false, from `on_demand_share` directly.
   bool use_portfolio = true;
@@ -28,37 +58,94 @@ struct MarketEngineConfig {
   double on_demand_share = 0.0;
   std::uint64_t seed = 42;
 
-  [[nodiscard]] bool enabled() const noexcept {
-    return revocation.model != RevocationModel::None || use_portfolio;
+  /// The markets actually planned over: `markets`, or the legacy pair
+  /// wrapped as a single "spot" market.
+  [[nodiscard]] std::vector<MarketDef> effective_markets() const {
+    if (!markets.empty()) return markets;
+    return {MarketDef{"spot", price, revocation}};
   }
+
+  /// Fills `markets` with `count` copies of the legacy price/revocation
+  /// pair (named "<name_prefix>-0" …) coupled by a uniform pairwise
+  /// `rho` — the "one market, K zones" setup the CLI, examples and
+  /// benches share.
+  void replicate_markets(std::size_t count, double rho,
+                         const std::string& name_prefix = "spot") {
+    markets.clear();
+    MarketDef def{name_prefix, price, revocation};
+    for (std::size_t m = 0; m < count; ++m) {
+      def.name = name_prefix + "-" + std::to_string(m);
+      markets.push_back(def);
+    }
+    correlation = CorrelatedPriceModel::uniform_correlation(count, rho);
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    if (use_portfolio) return true;
+    if (markets.empty()) return revocation.model != RevocationModel::None;
+    for (const MarketDef& market : markets) {
+      if (market.revocation.model != RevocationModel::None) return true;
+    }
+    return false;
+  }
+};
+
+/// One market's slice of a CapacityPlan.
+struct MarketPlan {
+  std::string name = "spot";
+  /// Portfolio weight of this market (fraction of the whole fleet).
+  double weight = 0.0;
+  /// Global ids of the servers riding this market, ascending.
+  std::vector<std::size_t> servers;
+  /// This market's spot prices over the horizon.
+  PriceTrace prices;
+  /// Revoke/restore schedule for this market's servers only.
+  std::vector<RevocationEvent> revocations;
+  /// The estimates this market contributed to the optimizer.
+  MarketSpec spec;
 };
 
 /// The engine's decision for one cluster + horizon.
 struct CapacityPlan {
   /// Servers [0, on_demand_servers) are bought on-demand and are never
-  /// revoked; the rest ride the transient market.
+  /// revoked; the rest ride the transient markets.
   std::size_t on_demand_servers = 0;
+  /// Union of every market's servers, ascending.
   std::vector<std::size_t> transient_servers;
-  /// Portfolio solution (weights[0] = on-demand share); present even with
-  /// use_portfolio = false (degenerate two-point weights) for reporting.
+  /// Portfolio solution (weights[0] = on-demand, weights[m+1] =
+  /// markets[m]); present even with use_portfolio = false (degenerate
+  /// fixed-share weights) for reporting.
   PortfolioResult portfolio;
   /// ClusterPartitions-compatible pool weights (pool 0 = on-demand).
   std::vector<double> pool_weights;
-  /// Spot prices over the horizon.
+  /// Market 0's spot prices (the legacy single-market view).
   PriceTrace prices;
-  /// Merged revoke/restore schedule for the transient servers.
+  /// Merged revoke/restore schedule across every market.
   std::vector<RevocationEvent> revocations;
+  /// Per-market slices; size >= 1 whenever the plan is non-empty.
+  std::vector<MarketPlan> markets;
 };
 
 /// Cost of running the planned fleet over the horizon, against the
 /// all-on-demand counterfactual. Prices are per core-hour; servers are
 /// billed on their core count while held (a revoked server is not billed).
 struct CostReport {
+  /// One market's share of the transient bill.
+  struct MarketCost {
+    std::string name = "spot";
+    std::size_t servers = 0;
+    double core_hours = 0.0;  ///< held (billable)
+    double cost = 0.0;        ///< integral of this market's spot price
+  };
+
   double on_demand_core_hours = 0.0;
   double transient_core_hours = 0.0;  ///< held (billable) core-hours
   double on_demand_cost = 0.0;
   double transient_cost = 0.0;        ///< integral of spot price over held time
   double all_on_demand_cost = 0.0;    ///< same fleet, every server on-demand
+  /// Per-market attribution, index-aligned with CapacityPlan::markets;
+  /// sums to transient_core_hours / transient_cost.
+  std::vector<MarketCost> per_market;
   [[nodiscard]] double total_cost() const noexcept {
     return on_demand_cost + transient_cost;
   }
@@ -83,17 +170,32 @@ class TransientMarketEngine {
                                   std::size_t deflatable_pools = 4) const;
 
   /// Bills the planned fleet over [0, horizon): on-demand servers at the
-  /// sticker rate, transient servers at the spot price while held (the
-  /// plan's own revocation schedule defines the down intervals).
+  /// sticker rate, each market's servers at that market's spot price while
+  /// held (the plan's own revocation schedules define the down intervals).
   [[nodiscard]] CostReport cost_report(const CapacityPlan& plan,
                                        double cores_per_server,
                                        sim::SimTime horizon) const;
+
+  /// Re-anchors an existing plan on a realized fleet split (e.g. after
+  /// ClusterPartitions rounding scattered pool 0 across shards): re-splits
+  /// `transient_servers` across the plan's markets proportionally to the
+  /// portfolio weights and regenerates every revocation schedule (the
+  /// per-server keyed streams keep this deterministic). Price traces and
+  /// portfolio weights are untouched.
+  void rebind_transient_servers(CapacityPlan& plan,
+                                std::size_t on_demand_count,
+                                std::vector<std::size_t> transient_servers,
+                                sim::SimTime horizon) const;
 
   [[nodiscard]] const MarketEngineConfig& config() const noexcept {
     return config_;
   }
 
  private:
+  /// Splits plan.transient_servers across plan.markets by weight and
+  /// regenerates per-market + merged revocation schedules.
+  void schedule_markets(CapacityPlan& plan, sim::SimTime horizon) const;
+
   MarketEngineConfig config_;
 };
 

@@ -58,8 +58,28 @@ MarketSpec MarketSpec::from_observations(std::string name,
 
 PortfolioResult PortfolioManager::optimize(
     std::span<const MarketSpec> markets) const {
+  const double rho = std::clamp(config_.market_correlation, -1.0, 1.0);
+  std::vector<std::vector<double>> correlation(
+      markets.size(), std::vector<double>(markets.size(), rho));
+  for (std::size_t i = 0; i < markets.size(); ++i) correlation[i][i] = 1.0;
+  return optimize(markets, correlation);
+}
+
+PortfolioResult PortfolioManager::optimize(
+    std::span<const MarketSpec> markets,
+    const std::vector<std::vector<double>>& correlation) const {
   if (markets.empty()) {
     throw std::invalid_argument("PortfolioManager: no transient markets");
+  }
+  if (!correlation.empty() && correlation.size() != markets.size()) {
+    throw std::invalid_argument(
+        "PortfolioManager: correlation must be K x K over the markets");
+  }
+  for (const auto& row : correlation) {
+    if (row.size() != markets.size()) {
+      throw std::invalid_argument(
+          "PortfolioManager: correlation must be K x K over the markets");
+    }
   }
   const std::size_t n = markets.size() + 1;  // + on-demand asset
 
@@ -86,10 +106,14 @@ PortfolioResult PortfolioManager::optimize(
     sigma[i + 1][i + 1] = var;
     stddev[i + 1] = std::sqrt(std::max(0.0, var));
   }
-  const double rho = std::clamp(config_.market_correlation, -1.0, 1.0);
   for (std::size_t i = 1; i < n; ++i) {
     for (std::size_t j = 1; j < n; ++j) {
-      if (i != j) sigma[i][j] = rho * stddev[i] * stddev[j];
+      if (i == j) continue;
+      const double rho =
+          correlation.empty()
+              ? 0.0
+              : std::clamp(correlation[i - 1][j - 1], -1.0, 1.0);
+      sigma[i][j] = rho * stddev[i] * stddev[j];
     }
   }
 

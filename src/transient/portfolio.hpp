@@ -96,6 +96,14 @@ class PortfolioManager {
   [[nodiscard]] PortfolioResult optimize(
       std::span<const MarketSpec> markets) const;
 
+  /// Same, with an explicit K x K price correlation across the transient
+  /// markets (row/column i maps to markets[i]; the on-demand asset stays
+  /// risk-free). Empty = identity. The single-argument overload is this
+  /// with a uniform config().market_correlation matrix.
+  [[nodiscard]] PortfolioResult optimize(
+      std::span<const MarketSpec> markets,
+      const std::vector<std::vector<double>>& correlation) const;
+
   /// Maps a portfolio onto ClusterPartitions pool weights: pool 0 carries
   /// the on-demand weight, and the transient weight is split across
   /// `deflatable_pools` priority pools proportionally to `priority_mix`

@@ -118,12 +118,7 @@ std::vector<RevocationEvent> RevocationEngine::schedule(
     const auto events = schedule_for(server, horizon);
     merged.insert(merged.end(), events.begin(), events.end());
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const RevocationEvent& a, const RevocationEvent& b) {
-              if (a.at != b.at) return a.at < b.at;
-              if (a.revoke != b.revoke) return a.revoke;  // revokes first
-              return a.server < b.server;
-            });
+  std::sort(merged.begin(), merged.end(), schedule_before);
   return merged;
 }
 

@@ -73,6 +73,15 @@ struct RevocationEvent {
   [[nodiscard]] bool operator==(const RevocationEvent&) const = default;
 };
 
+/// Canonical merged-schedule ordering: (time, revoke-before-restore,
+/// server id). Every sorted schedule in the library uses this ordering.
+[[nodiscard]] inline bool schedule_before(const RevocationEvent& a,
+                                          const RevocationEvent& b) noexcept {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.revoke != b.revoke) return a.revoke;
+  return a.server < b.server;
+}
+
 class RevocationEngine {
  public:
   explicit RevocationEngine(RevocationConfig config,

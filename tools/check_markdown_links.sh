@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when any *.md file in the repo contains an inline
+# markdown link `[text](target)` whose target is a relative path that does
+# not exist. External links (http/https/mailto) and pure in-page anchors
+# (#...) are skipped; a `#section` suffix on a relative path is stripped
+# before the existence check. Reference-style links and autolinks are out
+# of scope — keep doc cross-references inline so this check sees them.
+#
+#   $ tools/check_markdown_links.sh        # from anywhere inside the repo
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+checked=0
+
+while IFS= read -r -d '' file; do
+  dir="$(dirname "$file")"
+  # Extract every `](target)`, then strip the wrapper and any ' "title"'.
+  while IFS= read -r target; do
+    target="${target#](}"
+    target="${target%)}"
+    target="${target%% \"*}"
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+      '') continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "broken link: ${file#"$root"/}: ($target)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" || true)
+done < <(find "$root" -name '*.md' \
+              -not -path "$root/build/*" \
+              -not -path '*/.git/*' -print0)
+
+if [ "$fail" -eq 0 ]; then
+  echo "markdown links OK ($checked relative links checked)"
+fi
+exit "$fail"

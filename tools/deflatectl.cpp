@@ -12,10 +12,17 @@
 //               [--rate R] [--bid B] [--no-portfolio] [--od-share S]
 //               [--floor F] [--risk A] [--mode deflation|preemption]
 //               [--partitioned] [--seed S]
+//               [--markets K] [--correlation R] [--common-shock-rate R]
 //               [--shards N] [--shard-policy p2c|least-loaded|round-robin]
 //
 // --shards > 1 runs the fleet through the sharded cluster manager
 // (src/cluster/sharded_manager.hpp); 1 (default) is the flat manager.
+// --markets > 1 spreads the transient fleet across K correlated spot
+// markets (pairwise innovation correlation --correlation, provider-wide
+// crunches at --common-shock-rate per hour), each market carrying the
+// configured revocation model/bid with its own revocation stream; the
+// portfolio sizes the per-market pools and the cost table gains a
+// per-market breakdown.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cmath>
@@ -84,7 +91,8 @@ int usage() {
       "  deflatectl revoke-sim --in FILE [--servers N] [--model M] [--rate R]\n"
       "             [--bid B] [--no-portfolio] [--od-share S] [--floor F]\n"
       "             [--risk A] [--mode deflation|preemption] [--partitioned]\n"
-      "             [--seed S] [--shards N]\n"
+      "             [--seed S] [--markets K] [--correlation R]\n"
+      "             [--common-shock-rate R] [--shards N]\n"
       "             [--shard-policy p2c|least-loaded|round-robin]\n";
   return 1;
 }
@@ -297,6 +305,18 @@ int cmd_revoke_sim(const Args& args) {
   config.market.portfolio.on_demand_floor = args.get_double("floor", 0.1);
   config.market.portfolio.risk_aversion = args.get_double("risk", 2.0);
 
+  // Multi-market fleet: K copies of the configured market, coupled by a
+  // uniform pairwise correlation, each with its own revocation stream.
+  const auto market_count =
+      static_cast<std::size_t>(args.get_double("markets", 1));
+  const double market_correlation = args.get_double("correlation", 0.3);
+  if (market_count > 1) {
+    config.market.replicate_markets(market_count, market_correlation);
+  }
+  // Provider-wide crunches apply to single-market fleets too.
+  config.market.common_shock_rate_per_hour =
+      args.get_double("common-shock-rate", 0.0);
+
   simcluster::TraceDrivenSimulator simulator(records, config);
   const auto metrics = simulator.run();
 
@@ -306,6 +326,11 @@ int cmd_revoke_sim(const Args& args) {
   table.add_row({"servers", std::to_string(config.server_count)});
   if (config.shard_count > 1) {
     table.add_row({"shards", std::to_string(config.shard_count)});
+  }
+  if (config.market.markets.size() > 1) {
+    table.add_row({"markets",
+                   std::to_string(config.market.markets.size()) + " (rho " +
+                       util::format_double(market_correlation, 2) + ")"});
   }
   table.add_row({"transient share",
                  util::format_double(100 * metrics.transient_server_share, 1) +
@@ -326,6 +351,17 @@ int cmd_revoke_sim(const Args& args) {
   table.add_row({"saving vs on-demand",
                  util::format_double(metrics.cost.saving_percent(), 2) + "%"});
   table.print(std::cout);
+
+  if (metrics.cost.per_market.size() > 1) {
+    std::cout << "\n";
+    util::Table markets({"market", "servers", "held core-hours", "cost"});
+    for (const auto& market : metrics.cost.per_market) {
+      markets.add_row({market.name, std::to_string(market.servers),
+                       util::format_double(market.core_hours, 0),
+                       util::format_double(market.cost, 0)});
+    }
+    markets.print(std::cout);
+  }
   return 0;
 }
 
