@@ -78,7 +78,7 @@ std::vector<std::size_t> ClusterManager::candidate_servers(
                                : 0;
   std::vector<std::size_t> candidates;
   for (const std::size_t idx : partitions_.pool(pool)) {
-    if (nodes_[idx]->active) candidates.push_back(idx);
+    if (nodes_[idx]->active && nodes_[idx]->accepting) candidates.push_back(idx);
   }
   return candidates;
 }
@@ -270,29 +270,35 @@ PlacementResult ClusterManager::place_vm(const hv::VmSpec& spec) {
   return result;
 }
 
-RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
-  RevocationOutcome outcome;
+std::optional<std::vector<hv::VmSpec>> ClusterManager::take_server_offline(
+    std::size_t server) {
   ServerNode& node = *nodes_.at(server);
-  if (!node.active) return outcome;
+  if (!node.active) return std::nullopt;
   node.active = false;
+  node.accepting = true;  // clear any drain; the server is gone either way
   ++stats_.revocations;
 
   std::vector<hv::VmSpec> residents;
   for (const hv::Vm* vm : node.hypervisor.host().vms()) {
     residents.push_back(vm->spec());
   }
-  // Migrate high-priority VMs first so scarce surviving capacity protects
-  // the most valuable ones; ties broken by id for determinism.
-  std::sort(residents.begin(), residents.end(),
-            [](const hv::VmSpec& a, const hv::VmSpec& b) {
-              if (a.priority != b.priority) return a.priority > b.priority;
-              return a.id < b.id;
-            });
-  outcome.vms_displaced = residents.size();
-
+  std::sort(residents.begin(), residents.end(), displacement_before);
   for (const hv::VmSpec& spec : residents) {
     node.hypervisor.destroy_vm(spec.id);
     vm_locations_.erase(spec.id);
+  }
+  mark_view_dirty(server);
+  return residents;
+}
+
+RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
+  RevocationOutcome outcome;
+  const std::optional<std::vector<hv::VmSpec>> residents =
+      take_server_offline(server);
+  if (!residents) return outcome;  // already revoked: idempotent
+  outcome.vms_displaced = residents->size();
+
+  for (const hv::VmSpec& spec : *residents) {
     if (config_.mode == ReclamationMode::Deflation) {
       // Re-place at full spec; the placement path deflates the VM and/or
       // its new neighbours as needed (possibly a deflated launch).
@@ -305,14 +311,14 @@ RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
         }
         continue;
       }
-    } else {
-      ++stats_.preemptions;
     }
     ++outcome.vms_killed;
     ++stats_.revocation_kills;
+    // A revocation kill is a preemption wherever it happens: the stat
+    // stays in lockstep with the preemption callbacks in both modes.
+    ++stats_.preemptions;
     for (const auto& callback : preemption_callbacks_) callback(spec, server);
   }
-  mark_view_dirty(server);
   for (const auto& callback : revocation_callbacks_) callback(server, outcome);
   return outcome;
 }
@@ -321,8 +327,13 @@ void ClusterManager::restore_server(std::size_t server) {
   ServerNode& node = *nodes_.at(server);
   if (node.active) return;
   node.active = true;
+  node.accepting = true;
   ++stats_.restorations;
   mark_view_dirty(server);
+}
+
+void ClusterManager::drain_server(std::size_t server) {
+  nodes_.at(server)->accepting = false;
 }
 
 std::size_t ClusterManager::active_server_count() const {

@@ -78,6 +78,15 @@ struct ClusterStats {
   std::uint64_t revocation_kills = 0;      ///< VMs lost to a revocation
 };
 
+/// Displacement order shared by every revocation path: protect the most
+/// valuable VMs with the scarce surviving capacity (or warning time)
+/// first; ties by id for determinism.
+[[nodiscard]] inline bool displacement_before(const hv::VmSpec& a,
+                                              const hv::VmSpec& b) noexcept {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.id < b.id;
+}
+
 /// What happened to the VMs resident on a revoked server.
 struct RevocationOutcome {
   std::size_t vms_displaced = 0;  ///< resident at revocation time
@@ -135,6 +144,12 @@ class ClusterManagerBase {
   /// rejoins the placement pool. Lost VMs do not return.
   virtual void restore_server(std::size_t server) = 0;
 
+  /// Advance-warning drain (timed migration, src/cluster/migration.hpp):
+  /// the server stops accepting new placements but its residents keep
+  /// running until revoke_server. Cleared by revoke_server and
+  /// restore_server.
+  virtual void drain_server(std::size_t server) = 0;
+
   [[nodiscard]] virtual bool server_active(std::size_t server) const = 0;
   [[nodiscard]] virtual std::size_t active_server_count() const = 0;
   [[nodiscard]] virtual std::size_t server_count() const = 0;
@@ -176,6 +191,17 @@ class ClusterManager : public ClusterManagerBase {
   bool remove_vm(std::uint64_t vm_id) override;
   RevocationOutcome revoke_server(std::size_t server) override;
   void restore_server(std::size_t server) override;
+  void drain_server(std::size_t server) override;
+
+  /// Scheduler plumbing for revocations: takes `server` offline and strips
+  /// its residents *without* re-placing them — counts the revocation and
+  /// returns the displaced specs in migration order (priority descending,
+  /// id ascending). The caller owns their fate: `revoke_server` re-places
+  /// or kills them inside this manager; the sharded scheduler routes them
+  /// through the fleet-wide scheduler instead. Empty optional when the
+  /// server was already inactive (idempotency).
+  std::optional<std::vector<hv::VmSpec>> take_server_offline(
+      std::size_t server);
 
   [[nodiscard]] bool server_active(std::size_t server) const override {
     return nodes_.at(server)->active;
@@ -237,6 +263,9 @@ class ClusterManager : public ClusterManagerBase {
     std::unique_ptr<core::LocalDeflationController> controller;
     HostView view;
     bool active = true;  ///< false while revoked by the transient market
+    /// false while draining ahead of an announced revocation: residents
+    /// keep running but no new placements land here.
+    bool accepting = true;
   };
 
   void refresh_view(std::size_t server);

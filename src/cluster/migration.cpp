@@ -1,0 +1,183 @@
+#include "cluster/migration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deflate::cluster {
+
+MigrationEstimate MigrationModel::precopy(double memory_mib) const {
+  MigrationEstimate estimate;
+  if (instant()) return estimate;
+  const double bandwidth = config_.bandwidth_mib_per_sec;
+  const double dirty = std::max(0.0, config_.dirty_mib_per_sec);
+  double remaining = std::max(0.0, memory_mib);
+
+  if (dirty >= bandwidth) {
+    // Pre-copy cannot drain: the guest redirties memory as fast as the
+    // link streams it. One bulk round, then stop-and-copy of a fully
+    // redirtied footprint.
+    estimate.converged = false;
+    const double bulk_seconds = remaining / bandwidth;
+    estimate.downtime = sim::SimTime::from_seconds(bulk_seconds);
+    estimate.duration = sim::SimTime::from_seconds(2.0 * bulk_seconds);
+    return estimate;
+  }
+
+  double total_seconds = 0.0;
+  int round = 0;
+  while (remaining > config_.stop_copy_threshold_mib &&
+         round < config_.max_precopy_rounds) {
+    const double round_seconds = remaining / bandwidth;
+    total_seconds += round_seconds;
+    remaining = round_seconds * dirty;  // redirtied while this round streamed
+    ++round;
+  }
+  const double stop_copy_seconds = remaining / bandwidth;
+  estimate.downtime = sim::SimTime::from_seconds(stop_copy_seconds);
+  estimate.duration =
+      sim::SimTime::from_seconds(total_seconds + stop_copy_seconds);
+  return estimate;
+}
+
+MigrationEstimate MigrationModel::checkpoint(double memory_mib) const {
+  MigrationEstimate estimate;
+  if (instant()) return estimate;
+  const double seconds =
+      std::max(0.0, memory_mib) / config_.bandwidth_mib_per_sec;
+  estimate.duration = sim::SimTime::from_seconds(seconds);
+  estimate.downtime = estimate.duration;
+  return estimate;
+}
+
+double MigrationEngine::transfer_mib(const hv::VmSpec& spec) const {
+  if (!config_.deflate_before_transfer) return spec.memory_mib;
+  const double fraction = std::clamp(
+      std::max(spec.min_fraction, config_.model.deflated_transfer_fraction),
+      0.0, 1.0);
+  return spec.memory_mib * fraction;
+}
+
+void MigrationEngine::charge_downtime(const hv::VmSpec& spec,
+                                      sim::SimTime window) {
+  const double hours = std::max(0.0, window.hours());
+  stats_.downtime_hours += hours;
+  stats_.downtime_core_hours += hours * static_cast<double>(spec.vcpus);
+}
+
+WarningResult MigrationEngine::begin_warning(std::size_t server,
+                                             sim::SimTime now,
+                                             sim::SimTime deadline) {
+  WarningResult result;
+  if (model_.instant() || !manager_.server_active(server)) return result;
+  manager_.drain_server(server);
+  ++stats_.warnings;
+
+  std::vector<hv::VmSpec> residents;
+  for (const hv::Vm* vm : manager_.host(server).vms()) {
+    residents.push_back(vm->spec());
+  }
+  std::sort(residents.begin(), residents.end(), displacement_before);
+
+  RevocationOutcome& pending = pending_[server];
+  for (const hv::VmSpec& spec : residents) {
+    const MigrationEstimate estimate = model_.precopy(transfer_mib(spec));
+    if (!estimate.converged || now + estimate.duration > deadline) {
+      // Streaming would outlive the server; it keeps running until the
+      // deadline decides between checkpoint-relaunch and kill.
+      continue;
+    }
+    manager_.remove_vm(spec.id);
+    const PlacementResult placed = manager_.place_vm(spec);
+    ++pending.vms_displaced;
+    if (!placed.ok()) {
+      // Fits the warning but no destination today: checkpoint it and let
+      // the deadline retry (capacity may free up in between).
+      result.suspended.push_back(spec);
+      continue;
+    }
+    ++pending.vms_migrated;
+    ++stats_.live_migrations;
+    MigrationRecord record;
+    record.spec = spec;
+    record.from = server;
+    record.to = placed.host_id;
+    record.launch_fraction = placed.launch_fraction;
+    record.start = now;
+    record.cutover_end = now + estimate.duration;
+    record.cutover_begin = record.cutover_end - estimate.downtime;
+    record.live = true;
+    charge_downtime(spec, estimate.downtime);
+    result.started.push_back(record);
+  }
+  return result;
+}
+
+RevocationFinish MigrationEngine::finish_revocation(
+    std::size_t server, sim::SimTime now,
+    std::span<const hv::VmSpec> suspended) {
+  RevocationFinish result;
+  if (const auto it = pending_.find(server); it != pending_.end()) {
+    result.outcome = it->second;
+    pending_.erase(it);
+  }
+  if (model_.instant()) {  // defensive: callers gate on timed()
+    result.outcome = manager_.revoke_server(server);
+    return result;
+  }
+  if (!manager_.server_active(server)) return result;
+
+  // Zero-warning revocations reach here without a begin_warning; make sure
+  // the fallback placements below cannot land on the doomed server.
+  manager_.drain_server(server);
+
+  struct Candidate {
+    hv::VmSpec spec;
+    bool was_suspended = false;
+  };
+  std::vector<Candidate> candidates;
+  for (const hv::Vm* vm : manager_.host(server).vms()) {
+    candidates.push_back({vm->spec(), false});
+  }
+  for (const hv::VmSpec& spec : suspended) candidates.push_back({spec, true});
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return displacement_before(a.spec, b.spec);
+            });
+
+  for (const Candidate& candidate : candidates) {
+    const hv::VmSpec& spec = candidate.spec;
+    if (!candidate.was_suspended) {
+      ++result.outcome.vms_displaced;  // suspended were counted at warning
+      manager_.remove_vm(spec.id);
+    }
+    PlacementResult placed;
+    if (config_.checkpoint_fallback) placed = manager_.place_vm(spec);
+    if (config_.checkpoint_fallback && placed.ok()) {
+      ++result.outcome.vms_migrated;
+      ++stats_.checkpoint_restores;
+      MigrationRecord record;
+      record.spec = spec;
+      record.from = server;
+      record.to = placed.host_id;
+      record.launch_fraction = placed.launch_fraction;
+      record.start = now;
+      record.cutover_begin = now;
+      record.cutover_end =
+          now + model_.checkpoint(transfer_mib(spec)).duration;
+      record.live = false;
+      charge_downtime(spec, record.cutover_end - record.cutover_begin);
+      result.restored.push_back(record);
+    } else {
+      ++result.outcome.vms_killed;
+      ++stats_.checkpoint_kills;
+      result.killed.push_back(spec);
+    }
+  }
+
+  // The server is empty now; this flips it inactive, counts the
+  // revocation and fires the manager's revocation callbacks.
+  manager_.revoke_server(server);
+  return result;
+}
+
+}  // namespace deflate::cluster

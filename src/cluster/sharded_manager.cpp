@@ -274,11 +274,38 @@ bool ShardedClusterManager::remove_vm(std::uint64_t vm_id) {
 RevocationOutcome ShardedClusterManager::revoke_server(std::size_t server) {
   const std::size_t s = shard_of_server(server);
   Shard& shard = shards_[s];
-  const RevocationOutcome outcome =
-      shard.manager->revoke_server(server - shard.first);
-  // Revocations are rare and remove whole-server capacity; refresh the
-  // aggregate immediately so routing does not chase vanished headroom.
+  RevocationOutcome outcome;
+  // Strip the residents at the shard level (counts the revocation there),
+  // but re-place them here: the shard-local place_vm only scans its own
+  // shard, which used to kill VMs whenever the home shard was full even
+  // with fleet-wide headroom to spare.
+  const std::optional<std::vector<hv::VmSpec>> residents =
+      shard.manager->take_server_offline(server - shard.first);
+  if (!residents) return outcome;  // already revoked: idempotent
+  outcome.vms_displaced = residents->size();
+  // Whole-server capacity vanished; route the displaced VMs (and everyone
+  // after them) on a fresh aggregate instead of chasing it.
   refresh_shard(shard);
+
+  for (const hv::VmSpec& spec : *residents) {
+    vm_shard_.erase(spec.id);
+    if (config_.cluster.mode == ReclamationMode::Deflation) {
+      const PlacementResult placed = place_vm(spec);  // cross-shard fallback
+      if (placed.ok()) {
+        ++outcome.vms_migrated;
+        ++overlay_.revocation_migrations;
+        for (const auto& callback : migration_callbacks_) {
+          callback(spec, server, placed.host_id, placed.launch_fraction);
+        }
+        continue;
+      }
+    }
+    ++outcome.vms_killed;
+    ++overlay_.revocation_kills;
+    ++overlay_.preemptions;
+    for (const auto& callback : preemption_callbacks_) callback(spec, server);
+  }
+  for (const auto& callback : revocation_callbacks_) callback(server, outcome);
   return outcome;
 }
 
@@ -287,6 +314,13 @@ void ShardedClusterManager::restore_server(std::size_t server) {
   Shard& shard = shards_[s];
   shard.manager->restore_server(server - shard.first);
   refresh_shard(shard);
+}
+
+void ShardedClusterManager::drain_server(std::size_t server) {
+  const std::size_t s = shard_of_server(server);
+  shards_[s].manager->drain_server(server - shards_[s].first);
+  // The cached aggregate still counts the draining server's free capacity;
+  // that only skews routing order — the shard's exact scan excludes it.
 }
 
 bool ShardedClusterManager::server_active(std::size_t server) const {
@@ -339,6 +373,9 @@ const ClusterStats& ShardedClusterManager::stats() const {
   stats_.rejections -= spurious_rejections_;
   stats_.reclamation_attempts -= spurious_reclamation_attempts_;
   stats_.reclamation_failures -= spurious_reclamation_failures_;
+  stats_.revocation_migrations += overlay_.revocation_migrations;
+  stats_.revocation_kills += overlay_.revocation_kills;
+  stats_.preemptions += overlay_.preemptions;
   return stats_;
 }
 

@@ -73,8 +73,14 @@ class ShardedClusterManager : public ClusterManagerBase {
 
   PlacementResult place_vm(const hv::VmSpec& spec) override;
   bool remove_vm(std::uint64_t vm_id) override;
+  /// Displaces the revoked server's VMs through the *top-level* scheduler:
+  /// the shard that lost the server gets first refusal via normal routing,
+  /// but a full home shard no longer kills VMs the rest of the fleet could
+  /// absorb — the score-ordered fallback shops every shard, exactly like a
+  /// fresh arrival (flat-manager kill parity; see test_sharded_manager).
   RevocationOutcome revoke_server(std::size_t server) override;
   void restore_server(std::size_t server) override;
+  void drain_server(std::size_t server) override;
 
   [[nodiscard]] bool server_active(std::size_t server) const override;
   [[nodiscard]] std::size_t active_server_count() const override;
@@ -167,6 +173,10 @@ class ShardedClusterManager : public ClusterManagerBase {
   std::uint64_t spurious_rejections_ = 0;
   std::uint64_t spurious_reclamation_attempts_ = 0;
   std::uint64_t spurious_reclamation_failures_ = 0;
+  /// Revocation displacement runs at this level (cross-shard), not inside
+  /// the shards, so its migration/kill/preemption counts live here and are
+  /// added to the per-shard sums by stats().
+  ClusterStats overlay_;
   mutable ClusterStats stats_;
   std::vector<PreemptionCallback> preemption_callbacks_;
   std::vector<RevocationCallback> revocation_callbacks_;

@@ -67,6 +67,9 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
       plan_(make_plan(records_, config_)),
       manager_(make_manager(config_, plan_)),
       runtimes_(records_.size()) {
+  if (timed_migration()) {
+    migration_engine_.emplace(config_.migration, *manager_);
+  }
   for (std::size_t i = 0; i < records_.size(); ++i) {
     runtimes_[i].record = &records_[i];
     id_to_idx_[records_[i].id] = i;
@@ -128,6 +131,59 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
   });
 }
 
+bool TraceDrivenSimulator::timed_migration() const noexcept {
+  return config_.market_enabled &&
+         config_.mode == cluster::ReclamationMode::Deflation &&
+         config_.migration.model.bandwidth_mib_per_sec > 0.0;
+}
+
+void TraceDrivenSimulator::charge_downtime(const VmRuntime& vm,
+                                           sim::SimTime from,
+                                           sim::SimTime until) {
+  const sim::SimTime end = std::min(until, vm.record->end);
+  if (end <= from) return;
+  const double hours = (end - from).hours();
+  migration_downtime_hours_ += hours;
+  migration_downtime_core_hours_ +=
+      hours * static_cast<double>(vm.record->vcpus);
+}
+
+void TraceDrivenSimulator::track_migration(
+    const cluster::MigrationRecord& record) {
+  const auto it = id_to_idx_.find(record.spec.id);
+  if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
+  VmRuntime& vm = runtimes_[it->second];
+  // A fresh displacement supersedes any still-queued cutover events from
+  // an earlier one (e.g. the destination server is revoked mid-transfer).
+  const std::uint32_t epoch = ++vm.displacement_epoch;
+  // The VM's allocation moves to the destination at stream start (the
+  // placement may have deflated it); it pauses for the cutover window and
+  // resumes at its destination fraction when the transfer lands. Downtime
+  // is billed by the pause event, when the pause is known to happen.
+  vm.alloc_timeline.emplace_back(record.start, record.launch_fraction);
+  pending_allocs_.push({record.cutover_begin, record.spec.id, 0.0, epoch,
+                        record.cutover_end});
+  pending_allocs_.push(
+      {record.cutover_end, record.spec.id, record.launch_fraction, epoch, {}});
+}
+
+void TraceDrivenSimulator::charge_unserved_tail(const VmRuntime& vm,
+                                                sim::SimTime at) {
+  // finalize() integrates usage for deflatable VMs only; keep the two
+  // populations consistent or throughput_loss mixes denominators.
+  if (!vm.record->deflatable()) return;
+  const trace::VmRecord& record = *vm.record;
+  const auto& samples = record.cpu.samples();
+  const std::int64_t interval_us = record.cpu.interval().micros();
+  const auto served = static_cast<std::size_t>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(samples.size()),
+      (at - vm.placed_at).micros() / std::max<std::int64_t>(1, interval_us)));
+  for (std::size_t i = served; i < samples.size(); ++i) {
+    used_ += samples[i];
+    lost_ += samples[i];
+  }
+}
+
 void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
   VmRuntime& vm = runtimes_[idx];
   const hv::VmSpec spec = vm.record->to_spec();
@@ -149,6 +205,12 @@ void TraceDrivenSimulator::finalize(VmRuntime& vm, sim::SimTime at) {
   const double cores = static_cast<double>(record.vcpus);
   const double hours = (at - vm.placed_at).hours();
   if (hours <= 0.0) return;
+
+  // In-flight migration cutovers can interleave with deflation events out
+  // of order when a VM is displaced twice in quick succession; the
+  // integrations below assume a time-sorted step function.
+  std::stable_sort(vm.alloc_timeline.begin(), vm.alloc_timeline.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
 
   if (!record.deflatable()) {
     revenue_.od_committed_core_hours += cores * hours;
@@ -210,26 +272,58 @@ SimMetrics TraceDrivenSimulator::run() {
   ran_ = true;
 
   // Event order at equal timestamps: departures first (frees capacity),
-  // then server restorations (adds capacity), then server revocations
-  // (arriving VMs see the reduced fleet), then arrivals; ties broken by
-  // VM id / server id for determinism.
+  // then server restorations (adds capacity), then revocation warnings
+  // (migrations start before the final loss of the tick), then server
+  // revocations (arriving VMs see the reduced fleet), then arrivals; ties
+  // broken by VM id / server id for determinism.
   struct Event {
     sim::SimTime at;
-    enum class Kind { VmEnd, Restore, Revoke, VmStart } kind;
-    std::size_t idx;  ///< VM index or server id
+    enum class Kind { VmEnd, Restore, Warn, Revoke, VmStart } kind;
+    std::size_t idx;        ///< VM index or server id
+    sim::SimTime deadline;  ///< Warn only: when the server actually dies
   };
   std::vector<Event> events;
   events.reserve(records_.size() * 2 +
                  (plan_ ? plan_->revocations.size() : 0));
   for (std::size_t i = 0; i < records_.size(); ++i) {
-    events.push_back({records_[i].start, Event::Kind::VmStart, i});
-    events.push_back({records_[i].end, Event::Kind::VmEnd, i});
+    events.push_back({records_[i].start, Event::Kind::VmStart, i, {}});
+    events.push_back({records_[i].end, Event::Kind::VmEnd, i, {}});
   }
   if (plan_) {
     for (const transient::RevocationEvent& rev : plan_->revocations) {
       events.push_back({rev.at,
                         rev.revoke ? Event::Kind::Revoke : Event::Kind::Restore,
-                        rev.server});
+                        rev.server,
+                        {}});
+    }
+  }
+  if (plan_ && timed_migration()) {
+    // Advance warnings, per market (each market has its own warning time).
+    // A warning never precedes the server's previous restore: a server the
+    // provider has not yet handed back cannot be announced as doomed.
+    const std::vector<transient::MarketDef> defs =
+        config_.market.effective_markets();
+    for (std::size_t m = 0;
+         m < plan_->markets.size() && m < defs.size(); ++m) {
+      const double warning_hours = defs[m].revocation.warning_hours;
+      if (warning_hours <= 0.0) continue;
+      const sim::SimTime warning = sim::SimTime::from_hours(warning_hours);
+      std::unordered_map<std::size_t, sim::SimTime> prev_event_at;
+      for (const transient::RevocationEvent& rev :
+           plan_->markets[m].revocations) {
+        if (rev.revoke) {
+          sim::SimTime warn_at = rev.at - warning;
+          const auto prev = prev_event_at.find(rev.server);
+          if (prev != prev_event_at.end() && warn_at < prev->second) {
+            warn_at = prev->second;
+          }
+          if (warn_at < sim::SimTime{}) warn_at = sim::SimTime{};
+          if (warn_at < rev.at) {
+            events.push_back({warn_at, Event::Kind::Warn, rev.server, rev.at});
+          }
+        }
+        prev_event_at[rev.server] = rev.at;
+      }
     }
   }
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
@@ -238,7 +332,60 @@ SimMetrics TraceDrivenSimulator::run() {
     return a.idx < b.idx;
   });
 
-  for (const Event& event : events) {
+  const auto handle_revoke = [&](std::size_t server) {
+    if (!timed_migration()) {
+      manager_->revoke_server(server);
+      return;
+    }
+    // Present the still-alive suspended VMs (checkpointed at the warning
+    // for lack of a destination) for one last placement attempt.
+    std::vector<hv::VmSpec> suspended;
+    if (const auto it = suspended_.find(server); it != suspended_.end()) {
+      for (const std::uint64_t id : it->second) {
+        const auto rt = id_to_idx_.find(id);
+        if (rt != id_to_idx_.end() && runtimes_[rt->second].running) {
+          suspended.push_back(runtimes_[rt->second].record->to_spec());
+        }
+      }
+      suspended_.erase(it);
+    }
+    const cluster::RevocationFinish finish =
+        migration_engine_->finish_revocation(server, now_, suspended);
+    for (const cluster::MigrationRecord& record : finish.restored) {
+      track_migration(record);
+    }
+    for (const hv::VmSpec& spec : finish.killed) {
+      const auto it = id_to_idx_.find(spec.id);
+      if (it == id_to_idx_.end() || !runtimes_[it->second].running) continue;
+      VmRuntime& vm = runtimes_[it->second];
+      vm.preempted = true;
+      charge_unserved_tail(vm, now_);
+      finalize(vm, now_);
+    }
+  };
+
+  std::size_t next_event = 0;
+  while (next_event < events.size() || !pending_allocs_.empty()) {
+    // In-flight migration cutovers come due between static events; they
+    // only touch allocation timelines, never the manager.
+    if (!pending_allocs_.empty() &&
+        (next_event >= events.size() ||
+         pending_allocs_.top().at <= events[next_event].at)) {
+      const AllocEvent alloc = pending_allocs_.top();
+      pending_allocs_.pop();
+      now_ = std::max(now_, alloc.at);
+      const auto it = id_to_idx_.find(alloc.vm_id);
+      if (it != id_to_idx_.end() && runtimes_[it->second].running &&
+          runtimes_[it->second].displacement_epoch == alloc.epoch) {
+        runtimes_[it->second].alloc_timeline.emplace_back(alloc.at,
+                                                          alloc.fraction);
+        // A pause that actually fired bills its window (a superseded one
+        // was dropped by the epoch guard above and costs nothing).
+        charge_downtime(runtimes_[it->second], alloc.at, alloc.pause_until);
+      }
+      continue;
+    }
+    const Event& event = events[next_event++];
     // Batched view maintenance: dirty views/aggregates accumulated by the
     // events of one simulated tick are flushed once at the tick boundary
     // instead of once per event (placement stays exact either way).
@@ -247,7 +394,27 @@ SimMetrics TraceDrivenSimulator::run() {
     switch (event.kind) {
       case Event::Kind::VmStart: on_vm_start(event.idx); break;
       case Event::Kind::VmEnd: on_vm_end(event.idx); break;
-      case Event::Kind::Revoke: manager_->revoke_server(event.idx); break;
+      case Event::Kind::Warn: {
+        const cluster::WarningResult warned =
+            migration_engine_->begin_warning(event.idx, now_, event.deadline);
+        for (const cluster::MigrationRecord& record : warned.started) {
+          track_migration(record);
+        }
+        for (const hv::VmSpec& spec : warned.suspended) {
+          const auto it = id_to_idx_.find(spec.id);
+          if (it != id_to_idx_.end() && runtimes_[it->second].running) {
+            // Checkpointed: paused from now until the deadline resolves
+            // it (restore or kill); supersedes queued cutovers. The
+            // suspension pause is certain, so it bills immediately.
+            ++runtimes_[it->second].displacement_epoch;
+            runtimes_[it->second].alloc_timeline.emplace_back(now_, 0.0);
+            charge_downtime(runtimes_[it->second], now_, event.deadline);
+          }
+          suspended_[event.idx].push_back(spec.id);
+        }
+        break;
+      }
+      case Event::Kind::Revoke: handle_revoke(event.idx); break;
       case Event::Kind::Restore: manager_->restore_server(event.idx); break;
     }
   }
@@ -285,6 +452,25 @@ SimMetrics TraceDrivenSimulator::run() {
   metrics.revocations = stats.revocations;
   metrics.revocation_migrations = stats.revocation_migrations;
   metrics.revocation_kills = stats.revocation_kills;
+  if (migration_engine_) {
+    // Timed displacement ran outside the manager; fold it into the
+    // headline counters so instant and timed runs read the same way.
+    const cluster::MigrationEngineStats& mig = migration_engine_->stats();
+    metrics.live_migrations = mig.live_migrations;
+    metrics.checkpoint_restores = mig.checkpoint_restores;
+    metrics.checkpoint_kills = mig.checkpoint_kills;
+    metrics.migration_downtime_hours = migration_downtime_hours_;
+    metrics.revocation_migrations +=
+        mig.live_migrations + mig.checkpoint_restores;
+    metrics.revocation_kills += mig.checkpoint_kills;
+    metrics.preemptions += mig.checkpoint_kills;
+    // Keep the derived probability consistent with the folded count.
+    metrics.preemption_probability =
+        metrics.deflatable_count > 0
+            ? static_cast<double>(metrics.preemptions) /
+                  static_cast<double>(metrics.deflatable_count)
+            : 0.0;
+  }
   if (plan_ && config_.server_count > 0) {
     metrics.transient_server_share =
         static_cast<double>(plan_->transient_servers.size()) /
@@ -294,6 +480,16 @@ SimMetrics TraceDrivenSimulator::run() {
     metrics.cost = engine.cost_report(
         *plan_, config_.server_capacity[res::Resource::Cpu],
         horizon_of(records_));
+    if (migration_engine_) {
+      // Migration downtime is lost serving capacity: bill it at the
+      // on-demand rate on top of the fleet bill.
+      const double on_demand_rate =
+          config_.market.effective_markets().front().price.on_demand_price;
+      metrics.cost.migration_downtime_core_hours =
+          migration_downtime_core_hours_;
+      metrics.cost.migration_downtime_cost =
+          migration_downtime_core_hours_ * on_demand_rate;
+    }
   }
   metrics.mean_cpu_deflation =
       deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;

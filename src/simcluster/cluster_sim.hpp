@@ -13,12 +13,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_manager.hpp"
+#include "cluster/migration.hpp"
 #include "cluster/pricing.hpp"
 #include "cluster/sharded_manager.hpp"
 #include "trace/vm_record.hpp"
@@ -54,6 +57,16 @@ struct SimConfig {
   /// stream per market.
   bool market_enabled = false;
   transient::MarketEngineConfig market;
+
+  // --- timed migration (src/cluster/migration) ---
+  /// With `migration.model.bandwidth_mib_per_sec > 0` (and a deflation-mode
+  /// market), revocations become *timed*: each market's
+  /// `revocation.warning_hours` opens a drain window in which VMs stream
+  /// off the doomed server, in-flight migrations advance across ticks, and
+  /// stop-and-copy / checkpoint downtime is charged to throughput loss and
+  /// the cost report. Bandwidth 0 (default) is the instant sentinel: the
+  /// legacy free re-place path, bit-identical to earlier behavior.
+  cluster::MigrationEngineConfig migration;
 };
 
 struct SimMetrics {
@@ -82,6 +95,12 @@ struct SimMetrics {
   std::uint64_t revocations = 0;            ///< server-revocation events
   std::uint64_t revocation_migrations = 0;  ///< VMs re-placed off revoked servers
   std::uint64_t revocation_kills = 0;       ///< VMs lost to revocations
+
+  // --- timed migration (cluster::MigrationEngine; all zero when instant) ---
+  std::uint64_t live_migrations = 0;      ///< finished streaming inside the warning
+  std::uint64_t checkpoint_restores = 0;  ///< missed it; checkpointed + relaunched
+  std::uint64_t checkpoint_kills = 0;     ///< missed it; no survivor could take them
+  double migration_downtime_hours = 0.0;  ///< VM-paused transfer windows
   /// Fraction of the fleet bought on the transient market.
   double transient_server_share = 0.0;
   /// Fleet cost over the horizon (per-core-hour prices, on-demand = 1.0).
@@ -147,11 +166,30 @@ class TraceDrivenSimulator {
     sim::SimTime finished_at;
     /// (time, cpu allocation fraction) change-points while running.
     std::vector<std::pair<sim::SimTime, double>> alloc_timeline;
+    /// Bumped each time the VM is displaced again (new migration or
+    /// suspension); queued cutover events from an earlier displacement
+    /// carry the old epoch and are dropped as stale.
+    std::uint32_t displacement_epoch = 0;
   };
 
   void on_vm_start(std::size_t idx);
   void on_vm_end(std::size_t idx);
   void finalize(VmRuntime& vm, sim::SimTime at);
+
+  // --- timed migration plumbing ---------------------------------------------
+  /// Timed revocations are in effect: a deflation-mode market with a
+  /// non-instant migration model.
+  [[nodiscard]] bool timed_migration() const noexcept;
+  /// Books an in-flight migration: allocation moves now, the VM pauses for
+  /// the cutover window (pause/resume scheduled as future sim events; the
+  /// pause bills downtime when it actually fires).
+  void track_migration(const cluster::MigrationRecord& record);
+  /// Bills [from, min(until, record end)) as migration downtime.
+  void charge_downtime(const VmRuntime& vm, sim::SimTime from,
+                       sim::SimTime until);
+  /// Charges the usage a killed VM would have served after `at` as lost
+  /// throughput (timed mode only: instant-mode kill semantics unchanged).
+  void charge_unserved_tail(const VmRuntime& vm, sim::SimTime at);
 
   std::vector<trace::VmRecord> records_;
   SimConfig config_;
@@ -161,13 +199,43 @@ class TraceDrivenSimulator {
   /// Flat for shard_count <= 1, sharded otherwise; the simulator only uses
   /// the common interface.
   std::unique_ptr<cluster::ClusterManagerBase> manager_;
+  /// Present only in timed-migration mode (references *manager_).
+  std::optional<cluster::MigrationEngine> migration_engine_;
   std::vector<VmRuntime> runtimes_;
   std::unordered_map<std::uint64_t, std::size_t> id_to_idx_;
+  /// Suspended (checkpointed-awaiting-destination) VM ids per doomed
+  /// server, between a warning and its deadline.
+  std::unordered_map<std::size_t, std::vector<std::uint64_t>> suspended_;
+  /// Future allocation change-points from in-flight migrations (cutover
+  /// pauses/resumes), merged into the event loop as they come due.
+  struct AllocEvent {
+    sim::SimTime at;
+    std::uint64_t vm_id = 0;
+    double fraction = 0.0;
+    std::uint32_t epoch = 0;  ///< must match the VM's displacement_epoch
+    /// Pause events only: scheduled end of the VM-paused window. Downtime
+    /// is billed when the pause actually fires (a later displacement can
+    /// cancel it), clipped to the VM's lifetime.
+    sim::SimTime pause_until;
+    [[nodiscard]] bool operator>(const AllocEvent& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      if (vm_id != other.vm_id) return vm_id > other.vm_id;
+      return fraction > other.fraction;
+    }
+  };
+  std::priority_queue<AllocEvent, std::vector<AllocEvent>,
+                      std::greater<AllocEvent>>
+      pending_allocs_;
   sim::SimTime now_;
 
   // accumulators
   double lost_ = 0.0;
   double used_ = 0.0;
+  /// Exact VM-paused migration windows (cutover pauses that actually
+  /// fired plus checkpoint suspensions), clipped to each VM's remaining
+  /// lifetime (a VM that departs before its cutover never pauses).
+  double migration_downtime_hours_ = 0.0;
+  double migration_downtime_core_hours_ = 0.0;
   double deflation_fraction_time_ = 0.0;  ///< integral of (1 - alloc frac) dt
   double deflatable_time_ = 0.0;          ///< total deflatable running time
   cluster::RevenueTotals revenue_;

@@ -146,8 +146,14 @@ struct CostReport {
   /// Per-market attribution, index-aligned with CapacityPlan::markets;
   /// sums to transient_core_hours / transient_cost.
   std::vector<MarketCost> per_market;
+  /// Timed-migration throughput charge (filled by the simulator when the
+  /// migration engine runs; zero under instant migration): core-hours the
+  /// fleet's VMs spent paused in stop-and-copy / checkpoint-restore
+  /// windows, billed at the on-demand rate as lost serving capacity.
+  double migration_downtime_core_hours = 0.0;
+  double migration_downtime_cost = 0.0;
   [[nodiscard]] double total_cost() const noexcept {
-    return on_demand_cost + transient_cost;
+    return on_demand_cost + transient_cost + migration_downtime_cost;
   }
   /// Percent saved vs the all-on-demand fleet (positive = cheaper).
   [[nodiscard]] double saving_percent() const noexcept {

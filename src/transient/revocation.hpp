@@ -62,6 +62,14 @@ struct RevocationConfig {
   /// Time for the provider to hand back equivalent capacity after a
   /// revocation (re-acquisition delay). Applies to all models.
   double recovery_hours = 0.25;
+
+  /// Advance warning the provider gives before taking a server (EC2 gives
+  /// 2 min, GCE 30 s): each revocation is announced warning_hours before
+  /// it lands, which is the window the timed migration engine
+  /// (src/cluster/migration.hpp) has to stream VMs off the server.
+  /// 0 = no warning. Applies to all models; ignored by the legacy instant
+  /// migration path (migration bandwidth 0).
+  double warning_hours = 0.0;
 };
 
 /// One revocation (or restoration) of one server.

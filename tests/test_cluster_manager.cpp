@@ -267,3 +267,112 @@ TEST(ClusterManager, RevokeIsIdempotent) {
   EXPECT_EQ(second.vms_displaced, 0U);
   EXPECT_EQ(manager.stats().revocations, 1U);
 }
+
+TEST(ClusterManager, RevocationKillKeepsPreemptionStatInLockstepWithCallbacks) {
+  // Deflation-mode revocation that cannot re-place the displaced VM: the
+  // preemption callback fires, and the preemption stat must agree with it
+  // (it used to count only in preemption mode).
+  cl::ClusterManager manager(small_cluster(2));
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 16, 32768.0, false)).ok());
+  ASSERT_TRUE(manager.place_vm(make_spec(2, 16, 32768.0, false)).ok());
+  std::size_t callbacks = 0;
+  manager.subscribe_preemption(
+      [&](const hv::VmSpec&, std::uint64_t) { ++callbacks; });
+
+  const auto outcome = manager.revoke_server(manager.server_of(1).value());
+  EXPECT_EQ(outcome.vms_killed, 1U);
+  EXPECT_EQ(callbacks, 1U);
+  EXPECT_EQ(manager.stats().preemptions, callbacks);
+  EXPECT_EQ(manager.stats().preemptions, manager.stats().revocation_kills);
+}
+
+TEST(ClusterManager, EmptyServerRevocationLeavesDisplacementStatsUntouched) {
+  cl::ClusterManager manager(small_cluster(2));
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 8, 16384.0, true)).ok());
+  const std::size_t occupied = manager.server_of(1).value();
+  const std::size_t empty = 1 - occupied;
+  const cl::ClusterStats before = manager.stats();
+
+  std::size_t revocation_events = 0;
+  manager.subscribe_revocation(
+      [&](std::uint64_t host, const cl::RevocationOutcome& outcome) {
+        ++revocation_events;
+        EXPECT_EQ(host, empty);
+        EXPECT_EQ(outcome.vms_displaced, 0U);
+        EXPECT_EQ(outcome.vms_migrated, 0U);
+        EXPECT_EQ(outcome.vms_killed, 0U);
+      });
+  const auto outcome = manager.revoke_server(empty);
+  EXPECT_EQ(outcome.vms_displaced, 0U);
+  EXPECT_EQ(revocation_events, 1U);
+
+  // The revocation is counted, but none of the displacement machinery ran.
+  const cl::ClusterStats& after = manager.stats();
+  EXPECT_EQ(after.revocations, before.revocations + 1);
+  EXPECT_EQ(after.revocation_migrations, before.revocation_migrations);
+  EXPECT_EQ(after.revocation_kills, before.revocation_kills);
+  EXPECT_EQ(after.preemptions, before.preemptions);
+  EXPECT_EQ(after.placements, before.placements);
+  EXPECT_EQ(after.reclamation_attempts, before.reclamation_attempts);
+  EXPECT_EQ(after.rejections, before.rejections);
+}
+
+TEST(ClusterManager, RestoredServerAndDeparturesReinflateDeflatedSurvivors) {
+  // Revocation migrates a VM onto an occupied server, deflating residents
+  // there; restoring the revoked server returns capacity (placements land
+  // again) and a later departure reinflates the deflated survivors.
+  cl::ClusterConfig config = small_cluster(2);
+  cl::ClusterManager manager(config);
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 16, 32768.0, true)).ok());
+  ASSERT_TRUE(manager.place_vm(make_spec(2, 16, 32768.0, true)).ok());
+  const std::size_t victim = manager.server_of(2).value();
+
+  const auto outcome = manager.revoke_server(victim);
+  ASSERT_EQ(outcome.vms_migrated, 1U);
+  // Both VMs share one server now; someone had to deflate.
+  EXPECT_GT(manager.find_vm(1)->max_deflation_fraction() +
+                manager.find_vm(2)->max_deflation_fraction(),
+            0.0);
+
+  manager.restore_server(victim);
+  EXPECT_TRUE(manager.server_active(victim));
+  // The restored capacity is placeable again...
+  const auto placed = manager.place_vm(make_spec(3, 16, 32768.0, false));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(placed.host_id, victim);
+  // ...and a departure on the crowded server reinflates the survivor.
+  ASSERT_TRUE(manager.remove_vm(2));
+  EXPECT_DOUBLE_EQ(manager.find_vm(1)->max_deflation_fraction(), 0.0);
+}
+
+TEST(ClusterManager, ReinflateOnDepartureOffKeepsSurvivorsDeflated) {
+  cl::ClusterConfig config = small_cluster(2);
+  config.reinflate_on_departure = false;
+  cl::ClusterManager manager(config);
+  ASSERT_TRUE(manager.place_vm(make_spec(1, 16, 32768.0, true)).ok());
+  ASSERT_TRUE(manager.place_vm(make_spec(2, 16, 32768.0, true)).ok());
+  const std::size_t victim = manager.server_of(2).value();
+  ASSERT_EQ(manager.revoke_server(victim).vms_migrated, 1U);
+  manager.restore_server(victim);
+  const double deflated = manager.find_vm(1)->max_deflation_fraction() +
+                          manager.find_vm(2)->max_deflation_fraction();
+  ASSERT_GT(deflated, 0.0);
+
+  ASSERT_TRUE(manager.remove_vm(2));
+  // The ablation flag holds: the survivor stays deflated after departure.
+  EXPECT_GT(manager.find_vm(1)->max_deflation_fraction(), 0.0);
+}
+
+TEST(ClusterManager, DrainedServerRefusesPlacementsUntilRevokedOrRestored) {
+  cl::ClusterManager manager(small_cluster(2));
+  manager.drain_server(0);
+  const auto placed = manager.place_vm(make_spec(1, 4, 8192.0, false));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(placed.host_id, 1U);  // only the undrained server is eligible
+  // Revoking and restoring clears the drain.
+  manager.revoke_server(0);
+  manager.restore_server(0);
+  manager.remove_vm(1);
+  EXPECT_TRUE(manager.place_vm(make_spec(2, 16, 32768.0, false)).ok());
+  EXPECT_TRUE(manager.place_vm(make_spec(3, 16, 32768.0, false)).ok());
+}

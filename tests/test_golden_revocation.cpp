@@ -46,6 +46,9 @@ TEST(GoldenRevocation, DeflationAbsorbsRevocationsWithoutKills) {
   EXPECT_EQ(metrics.revocations, 94U);
   EXPECT_EQ(metrics.revocation_migrations, 241U);
   EXPECT_EQ(metrics.revocation_kills, 0U);
+  // Deflation mode never fires a preemption callback on this trace, and
+  // the preemption stat must agree with the callbacks in every mode.
+  EXPECT_EQ(metrics.preemptions, 0U);
   EXPECT_DOUBLE_EQ(metrics.failure_probability, 0.0);
   EXPECT_NEAR(100.0 * metrics.throughput_loss, 0.189, 0.01);
   EXPECT_NEAR(metrics.cost.saving_percent(), 44.7, 0.1);
@@ -60,9 +63,34 @@ TEST(GoldenRevocation, PreemptionBaselineKillsResidentVms) {
   EXPECT_EQ(metrics.revocations, 94U);
   EXPECT_EQ(metrics.revocation_migrations, 0U);
   EXPECT_EQ(metrics.revocation_kills, 127U);
+  // The preemption stat now agrees with the preemption callbacks in every
+  // mode: 127 revocation kills plus 25 pressure evictions on this trace,
+  // each of which fired exactly one callback.
+  EXPECT_EQ(metrics.preemptions, 152U);
+  EXPECT_GE(metrics.preemptions, metrics.revocation_kills);
   // Same plan, same market: the cost side is identical to deflation; only
   // what happens to the displaced VMs differs.
   EXPECT_NEAR(metrics.cost.saving_percent(), 44.7, 0.1);
+}
+
+TEST(GoldenRevocation, InstantMigrationSentinelReproducesGoldenOutcome) {
+  // Migration bandwidth 0 is the instant sentinel: even with a revocation
+  // warning configured, the simulator must take the legacy free-re-place
+  // path and reproduce the golden outcome bit for bit.
+  simcluster::SimConfig config = golden_config(cluster::ReclamationMode::Deflation);
+  config.market.revocation.warning_hours = 2.0;
+  config.migration.model.bandwidth_mib_per_sec = 0.0;
+  simcluster::TraceDrivenSimulator simulator(golden_trace(), config);
+  const simcluster::SimMetrics metrics = simulator.run();
+
+  EXPECT_EQ(metrics.revocations, 94U);
+  EXPECT_EQ(metrics.revocation_migrations, 241U);
+  EXPECT_EQ(metrics.revocation_kills, 0U);
+  EXPECT_EQ(metrics.live_migrations, 0U);
+  EXPECT_EQ(metrics.checkpoint_restores, 0U);
+  EXPECT_DOUBLE_EQ(metrics.migration_downtime_hours, 0.0);
+  EXPECT_NEAR(100.0 * metrics.throughput_loss, 0.189, 0.01);
+  EXPECT_NEAR(metrics.cost.total_cost(), 76475.0, 5.0);
 }
 
 TEST(GoldenRevocation, ShardedFleetKeepsDeflationKillFreeOnGoldenTrace) {

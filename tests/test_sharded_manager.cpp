@@ -246,6 +246,107 @@ TEST(ShardedClusterManager, RejectionStatsAreEndToEnd) {
   EXPECT_EQ(manager.stats().reclamation_failures, 1U);
 }
 
+TEST(ShardedClusterManager, RevocationMigratesCrossShardWithFlatKillParity) {
+  // Home shard full, neighbor shard empty: the displaced VM used to be
+  // killed (the shard-local place_vm only scanned its own shard); it must
+  // now migrate through the top-level scheduler, matching the flat
+  // manager's kill count on the same workload.
+  cl::ShardedClusterConfig config = sharded_config(4, 2);
+  cl::ShardedClusterManager sharded(config);
+  cl::ClusterManager flat(config.cluster);
+
+  // Victim: 8 cores with a 50% floor so fillers cannot deflate onto its
+  // server; parked in shard 0 (servers 0-1).
+  hv::VmSpec victim_vm = make_spec(1, 8, 8192.0, true, /*priority=*/0.9);
+  victim_vm.min_fraction = 0.5;
+  cl::PlacementResult placed = sharded.place_vm(victim_vm);
+  ASSERT_TRUE(placed.ok());
+  std::uint64_t filler_id = 100;
+  while (placed.host_id >= 2) {
+    sharded.remove_vm(victim_vm.id);
+    victim_vm.id = ++filler_id;
+    placed = sharded.place_vm(victim_vm);
+    ASSERT_TRUE(placed.ok());
+  }
+  const std::size_t victim_server = placed.host_id;
+  const std::size_t other0 = 1 - victim_server;
+
+  // Pack shard 0's other server with on-demand load; fillers the router
+  // parks in shard 1 are removed again, so shard 1 keeps its headroom.
+  std::vector<std::uint64_t> shard1_fillers;
+  std::vector<std::uint64_t> shard0_fillers;
+  while (sharded.host(other0).committed().cpu() < 16.0) {
+    const std::uint64_t id = ++filler_id;
+    const cl::PlacementResult filler =
+        sharded.place_vm(make_spec(id, 16, 32768.0, false));
+    ASSERT_TRUE(filler.ok());
+    (filler.host_id >= 2 ? shard1_fillers : shard0_fillers).push_back(id);
+  }
+  for (const std::uint64_t id : shard1_fillers) sharded.remove_vm(id);
+
+  // Mirror the shape on the flat manager: the victim on one server, one
+  // other server packed with on-demand load, the rest of the fleet empty.
+  const cl::PlacementResult flat_placed = flat.place_vm(victim_vm);
+  ASSERT_TRUE(flat_placed.ok());
+  const std::size_t flat_victim_server = flat_placed.host_id;
+  for (const std::uint64_t id : shard0_fillers) {
+    const cl::PlacementResult filler =
+        flat.place_vm(make_spec(id, 16, 32768.0, false));
+    ASSERT_TRUE(filler.ok());
+    ASSERT_NE(filler.host_id, flat_victim_server);
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> migrations;
+  sharded.subscribe_migration([&](const hv::VmSpec& spec, std::uint64_t from,
+                                  std::uint64_t to, double /*fraction*/) {
+    EXPECT_EQ(spec.id, victim_vm.id);
+    EXPECT_EQ(from, victim_server);
+    migrations.emplace_back(spec.id, to);
+  });
+
+  const cl::RevocationOutcome sharded_outcome =
+      sharded.revoke_server(victim_server);
+  const cl::RevocationOutcome flat_outcome =
+      flat.revoke_server(flat_victim_server);
+
+  // Flat-manager parity: same displaced set, same kill count (zero).
+  EXPECT_EQ(sharded_outcome.vms_displaced, flat_outcome.vms_displaced);
+  EXPECT_EQ(sharded_outcome.vms_killed, flat_outcome.vms_killed);
+  EXPECT_EQ(sharded_outcome.vms_killed, 0U);
+  EXPECT_EQ(sharded_outcome.vms_migrated, 1U);
+  EXPECT_EQ(sharded.stats().revocation_kills, flat.stats().revocation_kills);
+
+  // The survivor landed outside its home shard, with a global-id callback.
+  ASSERT_EQ(migrations.size(), 1U);
+  EXPECT_GE(migrations[0].second, 2U);
+  EXPECT_EQ(sharded.server_of(victim_vm.id).value(), migrations[0].second);
+  expect_single_residency(sharded);
+}
+
+TEST(ShardedClusterManager, RestoreReturnsCapacityToTheAggregateView) {
+  // After a revoke + restore cycle the scheduler must route placements
+  // onto the returned capacity again (the shard aggregate is refreshed on
+  // both transitions).
+  cl::ShardedClusterManager manager(sharded_config(4, 2));
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(manager.place_vm(make_spec(id, 16, 32768.0, false)).ok());
+  }
+  // Fleet is full: 4 servers x 16 cores all committed.
+  ASSERT_FALSE(manager.place_vm(make_spec(9, 16, 32768.0, false)).ok());
+
+  const std::size_t victim = manager.server_of(1).value();
+  manager.revoke_server(victim);  // resident on-demand VM dies (fleet full)
+  EXPECT_EQ(manager.active_server_count(), 3U);
+  manager.restore_server(victim);
+  EXPECT_EQ(manager.active_server_count(), 4U);
+
+  // Only the restored (empty) server can take this; routing must find it.
+  const cl::PlacementResult placed =
+      manager.place_vm(make_spec(10, 16, 32768.0, false));
+  ASSERT_TRUE(placed.ok());
+  EXPECT_EQ(placed.host_id, victim);
+}
+
 TEST(ShardedClusterManager, PoolServersCoverFleetWithoutOverlap) {
   cl::ShardedClusterConfig config = sharded_config(20, 4);
   config.cluster.partitioned = true;

@@ -14,6 +14,9 @@
 //               [--partitioned] [--seed S]
 //               [--markets K] [--correlation R] [--common-shock-rate R]
 //               [--shards N] [--shard-policy p2c|least-loaded|round-robin]
+//               [--warning-secs W] [--migration-bandwidth B]
+//               [--migration-dirty-rate D]
+//               [--migration-strategy migrate|deflate|hybrid]
 //
 // --shards > 1 runs the fleet through the sharded cluster manager
 // (src/cluster/sharded_manager.hpp); 1 (default) is the flat manager.
@@ -23,6 +26,15 @@
 // configured revocation model/bid with its own revocation stream; the
 // portfolio sizes the per-market pools and the cost table gains a
 // per-market breakdown.
+// --migration-bandwidth > 0 (MiB/s) turns on *timed* revocations
+// (src/cluster/migration.hpp): each revocation is announced
+// --warning-secs ahead, VMs stream off the doomed server within that
+// window, and stop-and-copy/checkpoint downtime is billed into the fleet
+// cost. 0 (default) is the instant sentinel — the legacy free re-place.
+// --migration-strategy: migrate = full-footprint pre-copy, kill on a
+// missed deadline; deflate = stream the deflated footprint, kill on a
+// miss; hybrid (default) = deflated transfer + checkpoint-relaunch
+// fallback.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cmath>
@@ -93,7 +105,10 @@ int usage() {
       "             [--risk A] [--mode deflation|preemption] [--partitioned]\n"
       "             [--seed S] [--markets K] [--correlation R]\n"
       "             [--common-shock-rate R] [--shards N]\n"
-      "             [--shard-policy p2c|least-loaded|round-robin]\n";
+      "             [--shard-policy p2c|least-loaded|round-robin]\n"
+      "             [--warning-secs W] [--migration-bandwidth MiB/s]\n"
+      "             [--migration-dirty-rate MiB/s]\n"
+      "             [--migration-strategy migrate|deflate|hybrid]\n";
   return 1;
 }
 
@@ -305,6 +320,28 @@ int cmd_revoke_sim(const Args& args) {
   config.market.portfolio.on_demand_floor = args.get_double("floor", 0.1);
   config.market.portfolio.risk_aversion = args.get_double("risk", 2.0);
 
+  // Timed migration: set the warning before replicate_markets below so
+  // every market copy inherits it.
+  config.market.revocation.warning_hours =
+      args.get_double("warning-secs", 0.0) / 3600.0;
+  config.migration.model.bandwidth_mib_per_sec =
+      args.get_double("migration-bandwidth", 0.0);
+  config.migration.model.dirty_mib_per_sec =
+      args.get_double("migration-dirty-rate", 64.0);
+  const std::string strategy = args.get("migration-strategy", "hybrid");
+  if (strategy == "migrate") {
+    config.migration.deflate_before_transfer = false;
+    config.migration.checkpoint_fallback = false;
+  } else if (strategy == "deflate") {
+    config.migration.deflate_before_transfer = true;
+    config.migration.checkpoint_fallback = false;
+  } else if (strategy == "hybrid") {
+    config.migration.deflate_before_transfer = true;
+    config.migration.checkpoint_fallback = true;
+  } else {
+    return usage();
+  }
+
   // Multi-market fleet: K copies of the configured market, coupled by a
   // uniform pairwise correlation, each with its own revocation stream.
   const auto market_count =
@@ -338,6 +375,23 @@ int cmd_revoke_sim(const Args& args) {
   table.add_row({"revocations", std::to_string(metrics.revocations)});
   table.add_row({"vm migrations", std::to_string(metrics.revocation_migrations)});
   table.add_row({"vm kills", std::to_string(metrics.revocation_kills)});
+  if (config.migration.model.bandwidth_mib_per_sec > 0.0) {
+    table.add_row({"migration strategy", strategy});
+    table.add_row({"warning", args.get("warning-secs", "0") + "s @ " +
+                                  args.get("migration-bandwidth", "0") +
+                                  " MiB/s"});
+    table.add_row({"live migrations", std::to_string(metrics.live_migrations)});
+    table.add_row(
+        {"checkpoint restores", std::to_string(metrics.checkpoint_restores)});
+    table.add_row(
+        {"checkpoint kills", std::to_string(metrics.checkpoint_kills)});
+    table.add_row({"migration downtime",
+                   util::format_double(metrics.migration_downtime_hours, 3) +
+                       " h (cost " +
+                       util::format_double(
+                           metrics.cost.migration_downtime_cost, 1) +
+                       ")"});
+  }
   table.add_row({"failure probability",
                  util::format_double(100 * metrics.failure_probability, 3) + "%"});
   table.add_row({"throughput loss",
