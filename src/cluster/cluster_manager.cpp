@@ -325,7 +325,13 @@ RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
 
 void ClusterManager::restore_server(std::size_t server) {
   ServerNode& node = *nodes_.at(server);
-  if (node.active) return;
+  if (node.active) {
+    // A drain whose revocation never materialized (e.g. a withdrawn
+    // warning): restoring a still-active server just reopens it for
+    // placements, without counting a restoration.
+    node.accepting = true;
+    return;
+  }
   node.active = true;
   node.accepting = true;
   ++stats_.restorations;

@@ -76,6 +76,12 @@ struct ClusterStats {
   std::uint64_t restorations = 0;          ///< servers handed back
   std::uint64_t revocation_migrations = 0; ///< VMs re-placed off a revoked server
   std::uint64_t revocation_kills = 0;      ///< VMs lost to a revocation
+  // --- admission layer (src/cluster/admission.hpp) ---
+  // The managers never touch these; AdmissionController::cluster_stats()
+  // folds its deferral-queue counters into this breakdown (expired
+  // deferrals are also added to `rejections` there).
+  std::uint64_t admission_deferrals = 0;  ///< requests deferred at least once
+  std::uint64_t admission_expired = 0;    ///< deferrals that hit their deadline
 };
 
 /// Displacement order shared by every revocation path: protect the most

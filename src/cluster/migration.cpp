@@ -5,10 +5,13 @@
 
 namespace deflate::cluster {
 
-MigrationEstimate MigrationModel::precopy(double memory_mib) const {
+MigrationEstimate MigrationModel::precopy(double memory_mib,
+                                          int concurrent_streams) const {
   MigrationEstimate estimate;
   if (instant()) return estimate;
-  const double bandwidth = config_.bandwidth_mib_per_sec;
+  const double streams =
+      config_.share_bandwidth ? std::max(1, concurrent_streams) : 1;
+  const double bandwidth = config_.bandwidth_mib_per_sec / streams;
   const double dirty = std::max(0.0, config_.dirty_mib_per_sec);
   double remaining = std::max(0.0, memory_mib);
 
@@ -39,14 +42,22 @@ MigrationEstimate MigrationModel::precopy(double memory_mib) const {
   return estimate;
 }
 
-MigrationEstimate MigrationModel::checkpoint(double memory_mib) const {
+MigrationEstimate MigrationModel::checkpoint(double memory_mib,
+                                             int concurrent_streams) const {
   MigrationEstimate estimate;
   if (instant()) return estimate;
+  const double streams =
+      config_.share_bandwidth ? std::max(1, concurrent_streams) : 1;
   const double seconds =
-      std::max(0.0, memory_mib) / config_.bandwidth_mib_per_sec;
+      std::max(0.0, memory_mib) * streams / config_.bandwidth_mib_per_sec;
   estimate.duration = sim::SimTime::from_seconds(seconds);
   estimate.downtime = estimate.duration;
   return estimate;
+}
+
+int MigrationEngine::contention_streams(std::size_t residents) const noexcept {
+  if (!config_.model.share_bandwidth) return 1;
+  return static_cast<int>(std::max<std::size_t>(1, residents));
 }
 
 double MigrationEngine::transfer_mib(const hv::VmSpec& spec) const {
@@ -79,8 +90,10 @@ WarningResult MigrationEngine::begin_warning(std::size_t server,
   std::sort(residents.begin(), residents.end(), displacement_before);
 
   RevocationOutcome& pending = pending_[server];
+  const int streams = contention_streams(residents.size());
   for (const hv::VmSpec& spec : residents) {
-    const MigrationEstimate estimate = model_.precopy(transfer_mib(spec));
+    const MigrationEstimate estimate =
+        model_.precopy(transfer_mib(spec), streams);
     if (!estimate.converged || now + estimate.duration > deadline) {
       // Streaming would outlive the server; it keeps running until the
       // deadline decides between checkpoint-relaunch and kill.
@@ -144,6 +157,7 @@ RevocationFinish MigrationEngine::finish_revocation(
               return displacement_before(a.spec, b.spec);
             });
 
+  const int streams = contention_streams(candidates.size());
   for (const Candidate& candidate : candidates) {
     const hv::VmSpec& spec = candidate.spec;
     if (!candidate.was_suspended) {
@@ -163,7 +177,7 @@ RevocationFinish MigrationEngine::finish_revocation(
       record.start = now;
       record.cutover_begin = now;
       record.cutover_end =
-          now + model_.checkpoint(transfer_mib(spec)).duration;
+          now + model_.checkpoint(transfer_mib(spec), streams).duration;
       record.live = false;
       charge_downtime(spec, record.cutover_end - record.cutover_begin);
       result.restored.push_back(record);

@@ -49,6 +49,11 @@ struct MigrationModelConfig {
   /// Footprint fraction streamed when the engine deflates a VM before
   /// transfer (floored by the VM's own `min_fraction`).
   double deflated_transfer_fraction = 0.25;
+  /// Bandwidth contention: N simultaneous cutover streams leaving one
+  /// server share the uplink, so each stream sees bandwidth / N and
+  /// stretches accordingly. Off by default (each transfer priced
+  /// independently — the pre-contention behavior, bit for bit).
+  bool share_bandwidth = false;
 };
 
 struct MigrationEstimate {
@@ -68,11 +73,15 @@ class MigrationModel {
   }
 
   /// Live (pre-copy) migration of `memory_mib` of guest state.
-  [[nodiscard]] MigrationEstimate precopy(double memory_mib) const;
+  /// `concurrent_streams` > 1 divides the link `share_bandwidth`-ways when
+  /// contention is enabled (ignored otherwise).
+  [[nodiscard]] MigrationEstimate precopy(double memory_mib,
+                                          int concurrent_streams = 1) const;
 
   /// Checkpoint/restore: the VM is paused for the whole transfer
   /// (duration == downtime).
-  [[nodiscard]] MigrationEstimate checkpoint(double memory_mib) const;
+  [[nodiscard]] MigrationEstimate checkpoint(double memory_mib,
+                                             int concurrent_streams = 1) const;
 
   [[nodiscard]] const MigrationModelConfig& config() const noexcept {
     return config_;
@@ -177,6 +186,10 @@ class MigrationEngine {
   /// MiB actually streamed for `spec` (deflated footprint when
   /// `deflate_before_transfer`).
   [[nodiscard]] double transfer_mib(const hv::VmSpec& spec) const;
+  /// Streams contending for the doomed server's uplink: the resident
+  /// count under `share_bandwidth` (every displacement nominally streams
+  /// out together — a conservative contention stub), 1 otherwise.
+  [[nodiscard]] int contention_streams(std::size_t residents) const noexcept;
   void charge_downtime(const hv::VmSpec& spec, sim::SimTime window);
 
   MigrationEngineConfig config_;

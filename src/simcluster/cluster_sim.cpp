@@ -100,6 +100,30 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
     }
   }
 
+  // Admission stage: AdmitAll quotes prices but defers nothing; the
+  // price-aware policies quote off the plan's market traces (pointers into
+  // plan_, which outlives the controller). BidOptimized pulls its ceilings
+  // from the plan's per-class bid optima when the engine computed them.
+  {
+    cluster::AdmissionConfig admission = config_.admission;
+    std::vector<const transient::PriceTrace*> traces;
+    if (plan_) {
+      traces.reserve(plan_->markets.size());
+      for (const transient::MarketPlan& market : plan_->markets) {
+        traces.push_back(&market.prices);
+      }
+      if (admission.policy == cluster::AdmissionPolicyKind::BidOptimized &&
+          !plan_->class_ceilings.empty()) {
+        admission.class_ceilings = plan_->class_ceilings;
+      }
+    }
+    const double on_demand_rate =
+        config_.market.effective_markets().front().price.on_demand_price;
+    admission_ = cluster::make_admission_controller(
+        std::move(admission), *manager_,
+        cluster::PriceFeed(std::move(traces), on_demand_rate));
+  }
+
   // Track allocation changes (deflation *and* reinflation) per VM.
   manager_->subscribe_deflation([this](const hv::Vm& vm,
                                       const res::ResourceVector& /*old_alloc*/,
@@ -184,18 +208,63 @@ void TraceDrivenSimulator::charge_unserved_tail(const VmRuntime& vm,
   }
 }
 
-void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
+void TraceDrivenSimulator::charge_never_served(const VmRuntime& vm) {
+  // Mirror of charge_unserved_tail for a VM that never launched: the whole
+  // series is demand the fleet failed to serve. Deflatable only, to keep
+  // the throughput denominators consistent (see charge_unserved_tail).
+  if (!vm.record->deflatable()) return;
+  for (const double sample : vm.record->cpu.samples()) {
+    used_ += sample;
+    lost_ += sample;
+  }
+}
+
+void TraceDrivenSimulator::apply_admission(
+    std::size_t idx, const cluster::AdmissionDecision& decision) {
   VmRuntime& vm = runtimes_[idx];
-  const hv::VmSpec spec = vm.record->to_spec();
-  const cluster::PlacementResult placement = manager_->place_vm(spec);
-  if (!placement.ok()) {
-    vm.rejected = true;
+  if (decision.admitted()) {
+    vm.running = true;
+    vm.placed_at = now_;
+    vm.alloc_timeline.clear();
+    vm.alloc_timeline.emplace_back(now_, decision.placement.launch_fraction);
+    if (vm.deferred) {
+      // The arrival→launch window went unserved: bill it as replacement
+      // capacity. (The displaced tail samples are charged to throughput
+      // loss when the VM finalizes.)
+      const double delay_hours = (now_ - vm.record->start).hours();
+      admission_delay_hours_ += delay_hours;
+      admission_unserved_core_hours_ +=
+          delay_hours * static_cast<double>(vm.record->vcpus);
+    }
     return;
   }
-  vm.running = true;
-  vm.placed_at = now_;
-  vm.alloc_timeline.clear();
-  vm.alloc_timeline.emplace_back(now_, placement.launch_fraction);
+  if (decision.status == cluster::AdmissionDecision::Status::Deferred) {
+    vm.deferred = true;  // queued inside the controller; a drain resolves it
+    return;
+  }
+  vm.rejected = true;
+  if (decision.reason == cluster::AdmissionDecision::Reason::DeadlineExpired) {
+    vm.expired = true;
+    charge_never_served(vm);
+    admission_unserved_core_hours_ +=
+        static_cast<double>(vm.record->vcpus) * vm.record->lifetime().hours();
+  }
+}
+
+void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
+  VmRuntime& vm = runtimes_[idx];
+  cluster::AdmissionRequest request =
+      cluster::AdmissionRequest::from_spec(vm.record->to_spec(), now_);
+  // A VM admitted at (or after) its departure would never be removed:
+  // clamp the deferral window strictly inside the record's lifetime, so
+  // expiry always resolves before the (already ignored) VmEnd event.
+  const sim::SimTime latest =
+      vm.record->end - sim::SimTime::from_micros(1);
+  const sim::SimTime window =
+      now_ + sim::SimTime::from_hours(
+                 std::max(0.0, admission_->config().max_defer_hours));
+  request.deadline = std::max(now_, std::min(window, latest));
+  apply_admission(idx, admission_->decide(request, now_));
 }
 
 void TraceDrivenSimulator::finalize(VmRuntime& vm, sim::SimTime at) {
@@ -260,8 +329,15 @@ void TraceDrivenSimulator::finalize(VmRuntime& vm, sim::SimTime at) {
 
 void TraceDrivenSimulator::on_vm_end(std::size_t idx) {
   VmRuntime& vm = runtimes_[idx];
-  if (!vm.running) return;  // rejected or already preempted
+  if (!vm.running) return;  // rejected, deferred-in-queue or already preempted
+  const bool launched_late = vm.deferred;
   finalize(vm, now_);
+  if (launched_late) {
+    // finalize() integrated the samples the late launch actually served;
+    // the displaced tail is demand the deferral pushed past the VM's
+    // departure — lost throughput.
+    charge_unserved_tail(vm, now_);
+  }
   manager_->remove_vm(vm.record->id);
 }
 
@@ -365,7 +441,34 @@ SimMetrics TraceDrivenSimulator::run() {
   };
 
   std::size_t next_event = 0;
-  while (next_event < events.size() || !pending_allocs_.empty()) {
+  while (next_event < events.size() || !pending_allocs_.empty() ||
+         admission_->next_retry()) {
+    // Deferral-queue retries come due between static events. A retry is an
+    // arrival (of an older request): at equal timestamps it slots into the
+    // canonical event order *after* departures/restores/revocations —
+    // price-crossing restores land exactly on the price-drop step the
+    // retry waited for, and the re-entry must see the restored fleet — but
+    // *ahead* of same-instant fresh arrivals.
+    const sim::SimTime next_static =
+        next_event < events.size() ? events[next_event].at : sim::SimTime::max();
+    const bool retry_before_static =
+        next_event >= events.size() ||
+        events[next_event].kind == Event::Kind::VmStart;
+    if (const auto retry = admission_->next_retry();
+        retry &&
+        (*retry < next_static ||
+         (*retry == next_static && retry_before_static)) &&
+        (pending_allocs_.empty() || *retry <= pending_allocs_.top().at)) {
+      now_ = std::max(now_, *retry);
+      for (const cluster::AdmissionController::Resolved& resolved :
+           admission_->drain(now_)) {
+        const auto it = id_to_idx_.find(resolved.request.spec.id);
+        if (it != id_to_idx_.end()) {
+          apply_admission(it->second, resolved.decision);
+        }
+      }
+      continue;
+    }
     // In-flight migration cutovers come due between static events; they
     // only touch allocation timelines, never the manager.
     if (!pending_allocs_.empty() &&
@@ -420,7 +523,13 @@ SimMetrics TraceDrivenSimulator::run() {
   }
 
   SimMetrics metrics;
-  const cluster::ClusterStats& stats = manager_->stats();
+  // The admission controller folds its deferral breakdown into the
+  // manager's counters (expired deferrals count as rejections).
+  const cluster::ClusterStats stats = admission_->cluster_stats();
+  metrics.admission_deferrals = stats.admission_deferrals;
+  metrics.admission_expired = stats.admission_expired;
+  metrics.admission_retries = admission_->stats().retries;
+  metrics.admission_delay_hours = admission_delay_hours_;
   metrics.reclamation_attempts = stats.reclamation_attempts;
   metrics.reclamation_failures = stats.reclamation_failures;
   metrics.preemptions = stats.preemptions;
@@ -434,6 +543,19 @@ SimMetrics TraceDrivenSimulator::run() {
   metrics.vm_count = records_.size();
   for (const trace::VmRecord& record : records_) {
     if (record.deflatable()) ++metrics.deflatable_count;
+  }
+  // Non-admission unserved demand, in committed core-hours: capacity
+  // rejections in full, preempted/killed VMs from their eviction onwards.
+  // (Admission-caused unserved demand is billed into the cost report.)
+  for (const VmRuntime& vm : runtimes_) {
+    const double cores = static_cast<double>(vm.record->vcpus);
+    if (vm.rejected && !vm.expired) {
+      metrics.unserved_core_hours += cores * vm.record->lifetime().hours();
+    } else if (vm.preempted) {
+      metrics.unserved_core_hours +=
+          cores *
+          std::max(0.0, (vm.record->end - vm.finished_at).hours());
+    }
   }
   metrics.failure_probability =
       metrics.deflatable_count > 0
@@ -480,16 +602,22 @@ SimMetrics TraceDrivenSimulator::run() {
     metrics.cost = engine.cost_report(
         *plan_, config_.server_capacity[res::Resource::Cpu],
         horizon_of(records_));
+    const double on_demand_rate =
+        config_.market.effective_markets().front().price.on_demand_price;
     if (migration_engine_) {
       // Migration downtime is lost serving capacity: bill it at the
       // on-demand rate on top of the fleet bill.
-      const double on_demand_rate =
-          config_.market.effective_markets().front().price.on_demand_price;
       metrics.cost.migration_downtime_core_hours =
           migration_downtime_core_hours_;
       metrics.cost.migration_downtime_cost =
           migration_downtime_core_hours_ * on_demand_rate;
     }
+    // Admission-caused unserved demand: replacement capacity bought at
+    // the sticker rate for the work the deferral queue turned away.
+    metrics.cost.admission_unserved_core_hours =
+        admission_unserved_core_hours_;
+    metrics.cost.admission_unserved_cost =
+        admission_unserved_core_hours_ * on_demand_rate;
   }
   metrics.mean_cpu_deflation =
       deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;

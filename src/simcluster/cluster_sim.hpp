@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/admission.hpp"
 #include "cluster/cluster_manager.hpp"
 #include "cluster/migration.hpp"
 #include "cluster/pricing.hpp"
@@ -58,6 +59,19 @@ struct SimConfig {
   bool market_enabled = false;
   transient::MarketEngineConfig market;
 
+  // --- admission (src/cluster/admission) ---
+  /// Admission API v2: every arrival flows through an AdmissionController
+  /// before placement. The default AdmitAll policy is bit-identical to
+  /// pre-admission behavior; PriceThreshold/BidOptimized defer deflatable
+  /// launches while the spot quote exceeds the per-class ceiling, with
+  /// deferred arrivals re-entering the event loop as retry events and
+  /// expired deferrals counted as rejections (their unserved demand billed
+  /// into the cost report at the on-demand rate). The BidOptimized policy
+  /// takes its ceilings from `market.optimize_bids`' per-class optima
+  /// (`CapacityPlan::class_ceilings`); without a market plan the
+  /// price-aware policies degrade to AdmitAll.
+  cluster::AdmissionConfig admission;
+
   // --- timed migration (src/cluster/migration) ---
   /// With `migration.model.bandwidth_mib_per_sec > 0` (and a deflation-mode
   /// market), revocations become *timed*: each market's
@@ -95,6 +109,18 @@ struct SimMetrics {
   std::uint64_t revocations = 0;            ///< server-revocation events
   std::uint64_t revocation_migrations = 0;  ///< VMs re-placed off revoked servers
   std::uint64_t revocation_kills = 0;       ///< VMs lost to revocations
+
+  // --- admission (cluster::AdmissionController; all zero under AdmitAll) ---
+  std::uint64_t admission_deferrals = 0;  ///< requests deferred at least once
+  std::uint64_t admission_retries = 0;    ///< deferrals re-deferred by a drain
+  std::uint64_t admission_expired = 0;    ///< deadline hits; also in rejections
+  /// Total arrival→launch delay of deferrals that were eventually admitted.
+  double admission_delay_hours = 0.0;
+  /// Demand the fleet failed to serve for non-admission reasons (capacity
+  /// rejections in full, the unserved remainder of preempted/killed VMs),
+  /// in committed core-hours. Admission-caused unserved demand is billed
+  /// separately in `cost.admission_unserved_core_hours`.
+  double unserved_core_hours = 0.0;
 
   // --- timed migration (cluster::MigrationEngine; all zero when instant) ---
   std::uint64_t live_migrations = 0;      ///< finished streaming inside the warning
@@ -162,6 +188,8 @@ class TraceDrivenSimulator {
     bool running = false;
     bool preempted = false;
     bool rejected = false;
+    bool deferred = false;  ///< admission deferred it at least once
+    bool expired = false;   ///< the deferral window ran out (a rejection)
     sim::SimTime placed_at;
     sim::SimTime finished_at;
     /// (time, cpu allocation fraction) change-points while running.
@@ -175,6 +203,16 @@ class TraceDrivenSimulator {
   void on_vm_start(std::size_t idx);
   void on_vm_end(std::size_t idx);
   void finalize(VmRuntime& vm, sim::SimTime at);
+
+  // --- admission plumbing -----------------------------------------------------
+  /// Applies an admission decision (fresh or drained from the deferral
+  /// queue) to the VM's runtime: start it, remember the deferral, or
+  /// reject it (billing an expired deferral's whole demand as unserved).
+  void apply_admission(std::size_t idx,
+                       const cluster::AdmissionDecision& decision);
+  /// Charges the full usage series of a VM that never ran (expired
+  /// deferral) as lost throughput.
+  void charge_never_served(const VmRuntime& vm);
 
   // --- timed migration plumbing ---------------------------------------------
   /// Timed revocations are in effect: a deflation-mode market with a
@@ -201,6 +239,9 @@ class TraceDrivenSimulator {
   std::unique_ptr<cluster::ClusterManagerBase> manager_;
   /// Present only in timed-migration mode (references *manager_).
   std::optional<cluster::MigrationEngine> migration_engine_;
+  /// Admission stage in front of *manager_ (always present; AdmitAll by
+  /// default). Quotes prices off plan_'s market traces.
+  std::unique_ptr<cluster::AdmissionController> admission_;
   std::vector<VmRuntime> runtimes_;
   std::unordered_map<std::uint64_t, std::size_t> id_to_idx_;
   /// Suspended (checkpointed-awaiting-destination) VM ids per doomed
@@ -236,6 +277,11 @@ class TraceDrivenSimulator {
   /// lifetime (a VM that departs before its cutover never pauses).
   double migration_downtime_hours_ = 0.0;
   double migration_downtime_core_hours_ = 0.0;
+  /// Admission-caused unserved demand (expired deferrals in full, plus the
+  /// arrival→launch delay of late-admitted ones), billed at the on-demand
+  /// rate into the cost report.
+  double admission_unserved_core_hours_ = 0.0;
+  double admission_delay_hours_ = 0.0;
   double deflation_fraction_time_ = 0.0;  ///< integral of (1 - alloc frac) dt
   double deflatable_time_ = 0.0;          ///< total deflatable running time
   cluster::RevenueTotals revenue_;

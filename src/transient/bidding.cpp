@@ -1,0 +1,152 @@
+#include "transient/bidding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deflate::transient {
+
+namespace {
+
+/// Upward bid-crossings per hour of the trace: the PriceCrossing
+/// revocation rate at this bid (RevocationEngine::expected_rate_per_hour
+/// computes the same quantity; duplicated here so the optimizer can sweep
+/// candidate bids without re-seating engines).
+double crossings_per_hour(const PriceTrace& trace, double bid) {
+  const auto& samples = trace.samples();
+  std::size_t crossings = 0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i - 1] <= bid && samples[i] > bid) ++crossings;
+  }
+  const double hours = trace.duration().hours();
+  return hours > 0.0 ? static_cast<double>(crossings) / hours : 0.0;
+}
+
+}  // namespace
+
+double BidOptimizer::penalty_for(std::size_t priority_class) const noexcept {
+  const auto& table = config_.class_penalty_hours;
+  if (table.empty()) return 0.0;
+  return table[std::min(priority_class, table.size() - 1)];
+}
+
+double BidOptimizer::revocation_rate(const PriceTrace& trace, double bid,
+                                     const RevocationConfig& revocation) {
+  switch (revocation.model) {
+    case RevocationModel::None:
+      return 0.0;
+    case RevocationModel::PriceCrossing:
+      return crossings_per_hour(trace, bid);
+    default: {
+      // Bid-independent models: one engine evaluation covers every bid.
+      RevocationEngine engine(revocation);
+      engine.set_price_trace(&trace);
+      return engine.expected_rate_per_hour();
+    }
+  }
+}
+
+double BidOptimizer::cost_at_rate(const PriceTrace& trace, double bid,
+                                  double penalty_hours, double rate) const {
+  const auto& samples = trace.samples();
+  if (samples.empty()) return config_.on_demand_price;
+
+  std::size_t held = 0;
+  double held_price_sum = 0.0;
+  for (const double price : samples) {
+    if (price <= bid) {
+      ++held;
+      held_price_sum += price;
+    }
+  }
+  const double availability =
+      static_cast<double>(held) / static_cast<double>(samples.size());
+  const double spot_payment = held_price_sum / static_cast<double>(samples.size());
+  return spot_payment +
+         (1.0 - availability) * config_.on_demand_price *
+             std::clamp(config_.fallback_discount, 0.0, 1.0) +
+         penalty_hours * rate;
+}
+
+double BidOptimizer::expected_cost(const PriceTrace& trace, double bid,
+                                   double penalty_hours,
+                                   const RevocationConfig& revocation) const {
+  return cost_at_rate(trace, bid, penalty_hours,
+                      revocation_rate(trace, bid, revocation));
+}
+
+ClassBid BidOptimizer::optimize(const PriceTrace& trace,
+                                std::size_t priority_class,
+                                const RevocationConfig& revocation) const {
+  ClassBid best;
+  best.priority_class = priority_class;
+  best.bid = config_.on_demand_price;
+  if (trace.empty()) {
+    best.expected_cost = config_.on_demand_price;
+    return best;
+  }
+
+  // Distinct price levels + the on-demand price: the objective is a step
+  // function of the bid that only changes at these points, so this sweep
+  // is an exact minimization. Bidding above the on-demand rate is never
+  // rational (buy on-demand instead), so spike samples above it are not
+  // candidates.
+  std::vector<double> candidates;
+  candidates.reserve(trace.samples().size() + 1);
+  for (const double price : trace.samples()) {
+    if (price <= config_.on_demand_price) candidates.push_back(price);
+  }
+  candidates.push_back(config_.on_demand_price);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const double penalty = penalty_for(priority_class);
+  const bool price_crossing =
+      revocation.model == RevocationModel::PriceCrossing;
+  // Bid-independent models contribute one constant rate to every
+  // candidate; only price-crossing re-counts crossings per bid.
+  const double fixed_rate =
+      price_crossing ? 0.0
+                     : revocation_rate(trace, candidates.front(), revocation);
+  const auto rate_at = [&](double bid) {
+    return price_crossing ? crossings_per_hour(trace, bid) : fixed_rate;
+  };
+  best.bid = candidates.front();
+  best.expected_cost =
+      cost_at_rate(trace, best.bid, penalty, rate_at(best.bid));
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double cost =
+        cost_at_rate(trace, candidates[i], penalty, rate_at(candidates[i]));
+    if (cost < best.expected_cost) {  // strict: ties keep the lowest bid
+      best.expected_cost = cost;
+      best.bid = candidates[i];
+    }
+  }
+  best.availability = 1.0 - trace.fraction_above(best.bid);
+  best.revocation_rate_per_hour = rate_at(best.bid);
+  return best;
+}
+
+std::vector<ClassBid> BidOptimizer::optimize_classes(
+    const PriceTrace& trace, const RevocationConfig& revocation) const {
+  std::vector<ClassBid> bids;
+  const std::size_t classes = std::max<std::size_t>(
+      config_.class_penalty_hours.size(), 1);
+  bids.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (c == 0) {
+      // The on-demand class never bids; publish the sticker rate so
+      // index-aligned consumers see a well-defined entry.
+      ClassBid od;
+      od.priority_class = 0;
+      od.bid = config_.on_demand_price;
+      od.expected_cost = config_.on_demand_price;
+      bids.push_back(od);
+      continue;
+    }
+    bids.push_back(optimize(trace, c, revocation));
+  }
+  return bids;
+}
+
+}  // namespace deflate::transient

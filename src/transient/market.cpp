@@ -117,11 +117,17 @@ TransientMarketEngine::TransientMarketEngine(MarketEngineConfig config)
 
 void TransientMarketEngine::schedule_markets(CapacityPlan& plan,
                                              sim::SimTime horizon) const {
-  const std::vector<MarketDef> defs = config_.effective_markets();
+  std::vector<MarketDef> defs = config_.effective_markets();
   const std::size_t market_count = plan.markets.size();
   if (defs.size() != market_count) {
     throw std::invalid_argument(
         "TransientMarketEngine: plan was made for a different market list");
+  }
+  // A plan carrying optimized bids reschedules with them (rebinding a
+  // realized fleet split must not silently fall back to the static bids).
+  for (std::size_t m = 0;
+       m < plan.optimized_bids.size() && m < market_count; ++m) {
+    defs[m].revocation.bid = plan.optimized_bids[m];
   }
 
   std::vector<double> weights(market_count, 0.0);
@@ -162,7 +168,7 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
   CapacityPlan out;
   if (server_count == 0) return out;
 
-  const std::vector<MarketDef> defs = config_.effective_markets();
+  std::vector<MarketDef> defs = config_.effective_markets();
   validate_markets(defs);
   const std::size_t market_count = defs.size();
 
@@ -185,6 +191,32 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
     out.markets[m].prices = std::move(traces[m]);
   }
   out.prices = out.markets[0].prices;
+
+  // Per-class bid optimization: replace each market's hand-set bid with
+  // the mean of that market's per-class optima *before* the estimates
+  // below, so the portfolio prices the markets it will actually ride.
+  if (config_.optimize_bids) {
+    BidOptimizerConfig bidding = config_.bidding;
+    bidding.on_demand_price = defs.front().price.on_demand_price;
+    const BidOptimizer optimizer(bidding);
+    out.optimized_bids.resize(market_count, 0.0);
+    for (std::size_t m = 0; m < market_count; ++m) {
+      out.markets[m].class_bids = optimizer.optimize_classes(
+          out.markets[m].prices, defs[m].revocation);
+      double bid_sum = 0.0;
+      std::size_t deflatable_classes = 0;
+      for (const ClassBid& bid : out.markets[m].class_bids) {
+        if (bid.priority_class == 0) continue;  // on-demand never bids
+        bid_sum += bid.bid;
+        ++deflatable_classes;
+      }
+      out.optimized_bids[m] =
+          deflatable_classes > 0
+              ? bid_sum / static_cast<double>(deflatable_classes)
+              : defs[m].revocation.bid;
+      defs[m].revocation.bid = out.optimized_bids[m];
+    }
+  }
 
   // Per-market estimates for the optimizer, from each market's own trace
   // and revocation model.
@@ -229,6 +261,29 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
   }
   for (std::size_t m = 0; m < market_count; ++m) {
     out.markets[m].weight = out.portfolio.weights[m + 1];
+  }
+
+  // Admission ceilings: the per-class optimal bids averaged over the
+  // markets by portfolio weight (uniform when the transient weight is
+  // zero) — the price above which launching class c transiently is worse
+  // than waiting.
+  if (config_.optimize_bids && market_count > 0) {
+    const std::size_t classes = out.markets[0].class_bids.size();
+    out.class_ceilings.assign(classes, 0.0);
+    double weight_sum = 0.0;
+    for (const MarketPlan& market : out.markets) {
+      weight_sum += std::max(0.0, market.weight);
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      double ceiling = 0.0;
+      for (const MarketPlan& market : out.markets) {
+        const double w = weight_sum > 0.0
+                             ? std::max(0.0, market.weight) / weight_sum
+                             : 1.0 / static_cast<double>(market_count);
+        ceiling += w * market.class_bids[c].bid;
+      }
+      out.class_ceilings[c] = ceiling;
+    }
   }
 
   // Round the on-demand share to whole servers; a nonzero share always

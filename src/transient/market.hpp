@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "transient/bidding.hpp"
 #include "transient/portfolio.hpp"
 #include "transient/revocation.hpp"
 #include "transient/spot_price.hpp"
@@ -51,6 +52,15 @@ struct MarketEngineConfig {
   double common_shock_rate_per_hour = 0.0;
   double common_shock_multiplier = 4.0;
   double common_shock_decay_hours = 1.5;
+  /// Per-class bid optimization (transient/bidding.hpp): replace each
+  /// market's hand-set `RevocationConfig::bid` with the optimizer's fleet
+  /// bid (the mean of the per-class optima) and publish per-class
+  /// admission price ceilings in the plan (`CapacityPlan::class_ceilings`,
+  /// consumed by the BidOptimized admission policy in
+  /// src/cluster/admission.hpp). Off by default: the legacy static bids
+  /// stay bit-identical.
+  bool optimize_bids = false;
+  BidOptimizerConfig bidding;
   /// When true the on-demand/transient split comes from mean-variance
   /// optimization; when false, from `on_demand_share` directly.
   bool use_portfolio = true;
@@ -103,6 +113,10 @@ struct MarketPlan {
   std::vector<RevocationEvent> revocations;
   /// The estimates this market contributed to the optimizer.
   MarketSpec spec;
+  /// Per-class optimal bids for this market (index = priority class;
+  /// entry 0 is the on-demand class). Empty unless
+  /// `MarketEngineConfig::optimize_bids`.
+  std::vector<ClassBid> class_bids;
 };
 
 /// The engine's decision for one cluster + horizon.
@@ -124,6 +138,16 @@ struct CapacityPlan {
   std::vector<RevocationEvent> revocations;
   /// Per-market slices; size >= 1 whenever the plan is non-empty.
   std::vector<MarketPlan> markets;
+  /// Bids actually used for the revocation schedules when the bid
+  /// optimizer ran, index-aligned with `markets` (each market's mean over
+  /// its per-class optima). Empty = the hand-set `MarketDef` bids.
+  std::vector<double> optimized_bids;
+  /// Per-priority-class admission price ceilings (portfolio-weight-averaged
+  /// per-class optimal bids across the markets; index 0 = on-demand,
+  /// unused). Empty unless `MarketEngineConfig::optimize_bids` — the
+  /// BidOptimized admission policy defers a class while the spot quote
+  /// exceeds its entry.
+  std::vector<double> class_ceilings;
 };
 
 /// Cost of running the planned fleet over the horizon, against the
@@ -152,8 +176,17 @@ struct CostReport {
   /// windows, billed at the on-demand rate as lost serving capacity.
   double migration_downtime_core_hours = 0.0;
   double migration_downtime_cost = 0.0;
+  /// Admission-layer unserved demand (filled by the simulator): core-hours
+  /// of VM demand the admission controller turned away — expired deferrals
+  /// in full, plus the arrival→launch delay of deferrals that were
+  /// eventually admitted — billed at the on-demand rate as the cost of
+  /// buying replacement capacity for the turned-away work. Zero under the
+  /// AdmitAll policy (and in every pre-admission run).
+  double admission_unserved_core_hours = 0.0;
+  double admission_unserved_cost = 0.0;
   [[nodiscard]] double total_cost() const noexcept {
-    return on_demand_cost + transient_cost + migration_downtime_cost;
+    return on_demand_cost + transient_cost + migration_downtime_cost +
+           admission_unserved_cost;
   }
   /// Percent saved vs the all-on-demand fleet (positive = cheaper).
   [[nodiscard]] double saving_percent() const noexcept {

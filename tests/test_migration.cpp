@@ -343,3 +343,67 @@ TEST(TimedMigrationSim, GenerousWarningKeepsTheFleetKillFree) {
   EXPECT_EQ(metrics.revocation_migrations,
             metrics.live_migrations + metrics.checkpoint_restores);
 }
+
+// --- bandwidth contention ---------------------------------------------------
+
+TEST(MigrationModel, TwoStreamContentionHalvesTheLink) {
+  // With share_bandwidth on, 2 simultaneous streams each see half the
+  // link: the estimate is identical to a lone stream on a half-bandwidth
+  // link, and pins the 2-stream slowdown exactly.
+  cl::MigrationModelConfig shared = model_config(256.0, 32.0);
+  shared.share_bandwidth = true;
+  const cl::MigrationModel contended(shared);
+  const cl::MigrationModel halved(model_config(128.0, 32.0));
+
+  const cl::MigrationEstimate two = contended.precopy(8192.0, /*streams=*/2);
+  const cl::MigrationEstimate lone = halved.precopy(8192.0);
+  EXPECT_EQ(two.duration, lone.duration);
+  EXPECT_EQ(two.downtime, lone.downtime);
+  EXPECT_EQ(two.converged, lone.converged);
+  EXPECT_GT(two.duration, contended.precopy(8192.0, 1).duration);
+
+  const cl::MigrationEstimate ckpt = contended.checkpoint(4096.0, 2);
+  EXPECT_DOUBLE_EQ(ckpt.duration.seconds(), 2.0 * 4096.0 / 256.0);
+}
+
+TEST(MigrationModel, ContentionOffIgnoresStreamCount) {
+  const cl::MigrationModel model(model_config(256.0, 32.0));
+  EXPECT_EQ(model.precopy(8192.0, 4).duration, model.precopy(8192.0).duration);
+  EXPECT_EQ(model.checkpoint(4096.0, 4).duration,
+            model.checkpoint(4096.0).duration);
+}
+
+TEST(MigrationEngine, ContentionShrinksWhatFitsTheWarning) {
+  // Two residents whose transfers fit the deadline alone but not at half
+  // bandwidth: with contention on, neither live-migrates inside the
+  // warning (they fall to the deadline's checkpoint path).
+  const auto run = [](bool share) -> std::size_t {
+    cl::ClusterConfig cluster = small_cluster(3);
+    cluster.placement = cl::PlacementStrategy::FirstFit;  // co-locate both
+    cl::ClusterManager manager(cluster);
+    if (!manager.place_vm(make_spec(1, 4, 12288.0, true)).ok() ||
+        !manager.place_vm(make_spec(2, 4, 12288.0, true)).ok()) {
+      ADD_FAILURE() << "setup: placements failed";
+      return 0;
+    }
+    const std::size_t s1 = manager.server_of(1).value();
+    const std::size_t s2 = manager.server_of(2).value();
+    if (s1 != s2) {
+      ADD_FAILURE() << "setup: VMs must share the doomed server";
+      return 0;
+    }
+
+    cl::MigrationEngineConfig config;
+    config.model = model_config(64.0, 16.0);
+    config.model.share_bandwidth = share;
+    cl::MigrationEngine engine(config, manager);
+    // Deadline fits one 12 GiB transfer at 64 MiB/s (~220 s of streaming
+    // fits 400 s), but not at 32 MiB/s effective.
+    const sim::SimTime now;
+    const sim::SimTime deadline = sim::SimTime::from_seconds(400.0);
+    const cl::WarningResult warned = engine.begin_warning(s1, now, deadline);
+    return warned.started.size();
+  };
+  EXPECT_EQ(run(false), 2U);
+  EXPECT_EQ(run(true), 0U);
+}

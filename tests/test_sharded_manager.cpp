@@ -366,6 +366,84 @@ TEST(ShardedClusterManager, PoolServersCoverFleetWithoutOverlap) {
   EXPECT_EQ(total, manager.server_count());
 }
 
+TEST(ShardedClusterManager, PoolServersOrderingContractAcrossManagers) {
+  // The pool_servers contract every consumer (market plan rebinding, the
+  // partitioned simulator) relies on: global ids, strictly ascending
+  // within a pool, pools disjoint and jointly covering the fleet, stable
+  // across calls — for the flat manager and any shard count alike, and
+  // identical between the flat manager and the 1-shard scheduler.
+  cl::ShardedClusterConfig flat_config = sharded_config(20, 1);
+  flat_config.cluster.partitioned = true;
+  flat_config.cluster.pool_weights = {0.4, 0.2, 0.2, 0.2};
+  cl::ShardedClusterConfig sharded = flat_config;
+  sharded.shard_count = 4;
+
+  const cl::ClusterManager flat(flat_config.cluster);
+  const cl::ShardedClusterManager one_shard(flat_config);
+  const cl::ShardedClusterManager four_shards(sharded);
+  const std::vector<const cl::ClusterManagerBase*> managers{
+      &flat, &one_shard, &four_shards};
+
+  for (const cl::ClusterManagerBase* manager : managers) {
+    std::unordered_set<std::size_t> seen;
+    std::size_t total = 0;
+    for (std::size_t pool = 0; pool < 4; ++pool) {
+      const std::vector<std::size_t> servers = manager->pool_servers(pool);
+      EXPECT_FALSE(servers.empty()) << "pool " << pool;
+      for (std::size_t i = 0; i < servers.size(); ++i) {
+        EXPECT_LT(servers[i], manager->server_count());
+        if (i > 0) {
+          EXPECT_LT(servers[i - 1], servers[i]) << "pool " << pool;
+        }
+        EXPECT_TRUE(seen.insert(servers[i]).second)
+            << "server " << servers[i] << " owned by two pools";
+      }
+      total += servers.size();
+      // Stable: a second call returns the same ids.
+      EXPECT_EQ(manager->pool_servers(pool), servers);
+    }
+    EXPECT_EQ(total, manager->server_count());
+  }
+  // shard_count == 1 is the flat manager bit for bit, pools included.
+  for (std::size_t pool = 0; pool < 4; ++pool) {
+    EXPECT_EQ(flat.pool_servers(pool), one_shard.pool_servers(pool));
+  }
+}
+
+TEST(ShardedClusterManager, DrainThenRestoreWithoutRevocationReopensServer) {
+  // A withdrawn warning: drain_server followed by restore_server with no
+  // revocation in between must reopen the server for placements without
+  // counting a restoration, on flat and sharded fleets alike.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    cl::ShardedClusterManager manager(sharded_config(4, shards));
+    // Fill every server except the victim so placements must land there.
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      ASSERT_TRUE(manager.place_vm(make_spec(id, 16, 32768.0, false)).ok());
+    }
+    std::size_t victim = 0;
+    std::unordered_set<std::size_t> occupied;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      occupied.insert(manager.server_of(id).value());
+    }
+    for (std::size_t s = 0; s < manager.server_count(); ++s) {
+      if (!occupied.count(s)) victim = s;
+    }
+
+    manager.drain_server(victim);
+    EXPECT_TRUE(manager.server_active(victim)) << "drain is not a revocation";
+    EXPECT_FALSE(manager.place_vm(make_spec(8, 16, 32768.0, false)).ok())
+        << "shards=" << shards << ": draining server must not accept";
+
+    manager.restore_server(victim);
+    EXPECT_EQ(manager.stats().restorations, 0U)
+        << "restoring a never-revoked server is not a restoration";
+    const cl::PlacementResult placed =
+        manager.place_vm(make_spec(9, 16, 32768.0, false));
+    ASSERT_TRUE(placed.ok()) << "shards=" << shards;
+    EXPECT_EQ(placed.host_id, victim);
+  }
+}
+
 TEST(ShardedClusterManager, ShardCountClampedToFleetSize) {
   // More shards than servers: every shard still owns at least one server.
   cl::ShardedClusterManager manager(sharded_config(3, 16));

@@ -15,8 +15,10 @@
 //               [--markets K] [--correlation R] [--common-shock-rate R]
 //               [--shards N] [--shard-policy p2c|least-loaded|round-robin]
 //               [--warning-secs W] [--migration-bandwidth B]
-//               [--migration-dirty-rate D]
+//               [--migration-dirty-rate D] [--migration-contention]
 //               [--migration-strategy migrate|deflate|hybrid]
+//               [--admission admit-all|price|bid-opt] [--price-ceiling C]
+//               [--defer-hours H] [--bid-opt]
 //
 // --shards > 1 runs the fleet through the sharded cluster manager
 // (src/cluster/sharded_manager.hpp); 1 (default) is the flat manager.
@@ -31,15 +33,29 @@
 // --warning-secs ahead, VMs stream off the doomed server within that
 // window, and stop-and-copy/checkpoint downtime is billed into the fleet
 // cost. 0 (default) is the instant sentinel — the legacy free re-place.
+// --migration-contention makes N simultaneous streams off one server
+// share the link (each sees bandwidth / N).
 // --migration-strategy: migrate = full-footprint pre-copy, kill on a
 // missed deadline; deflate = stream the deflated footprint, kill on a
 // miss; hybrid (default) = deflated transfer + checkpoint-relaunch
 // fallback.
+// --admission selects the Admission API v2 policy (src/cluster/
+// admission.hpp): price defers deflatable launches while the spot quote
+// exceeds --price-ceiling (deferrals retried when the price drops,
+// expired after --defer-hours); bid-opt derives per-class ceilings from
+// the bid optimizer (so --price-ceiling conflicts with it) and implies
+// --bid-opt. --bid-opt alone replaces the
+// hand-set market bids with per-class optimized ones
+// (src/transient/bidding.hpp) without changing the admission policy.
+//
+// Invalid or conflicting flags fail fast with a one-line error (exit 1):
+// unknown flags, malformed numbers, out-of-range values, --correlation
+// without --markets >= 2, negative bandwidths, and similar mistakes are
+// never silently replaced by defaults.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cmath>
 #include <iostream>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,47 +64,14 @@
 #include "simcluster/cluster_sim.hpp"
 #include "trace/azure.hpp"
 #include "trace/trace_io.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace deflate;
-
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> flags;
-
-  [[nodiscard]] std::string get(const std::string& key,
-                                const std::string& fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
-  }
-  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
-  }
-  [[nodiscard]] bool has(const std::string& key) const {
-    return flags.count(key) > 0;
-  }
-};
-
-Args parse_args(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string token = argv[i];
-    if (token.rfind("--", 0) == 0) {
-      const std::string key = token.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        args.flags[key] = argv[++i];
-      } else {
-        args.flags[key] = "1";  // boolean flag
-      }
-    } else {
-      args.positional.push_back(token);
-    }
-  }
-  return args;
-}
+using util::CliArgs;
+using util::CliValidator;
 
 int usage() {
   std::cerr <<
@@ -107,8 +90,24 @@ int usage() {
       "             [--common-shock-rate R] [--shards N]\n"
       "             [--shard-policy p2c|least-loaded|round-robin]\n"
       "             [--warning-secs W] [--migration-bandwidth MiB/s]\n"
-      "             [--migration-dirty-rate MiB/s]\n"
-      "             [--migration-strategy migrate|deflate|hybrid]\n";
+      "             [--migration-dirty-rate MiB/s] [--migration-contention]\n"
+      "             [--migration-strategy migrate|deflate|hybrid]\n"
+      "             [--admission admit-all|price|bid-opt] [--price-ceiling C]\n"
+      "             [--defer-hours H] [--bid-opt]\n";
+  return 1;
+}
+
+/// Prints every validation error on its own line; true when the flag set
+/// is invalid (caller returns exit 1).
+bool report_errors(const CliValidator& validator) {
+  for (const std::string& error : validator.errors()) {
+    std::cerr << "error: " << error << "\n";
+  }
+  return !validator.ok();
+}
+
+int flag_error(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
   return 1;
 }
 
@@ -158,9 +157,17 @@ std::optional<cluster::ShardSelectionPolicy> parse_shard_policy(
   return std::nullopt;
 }
 
+std::optional<cluster::AdmissionPolicyKind> parse_admission_policy(
+    const std::string& name) {
+  if (name == "admit-all") return cluster::AdmissionPolicyKind::AdmitAll;
+  if (name == "price") return cluster::AdmissionPolicyKind::PriceThreshold;
+  if (name == "bid-opt") return cluster::AdmissionPolicyKind::BidOptimized;
+  return std::nullopt;
+}
+
 /// Applies the shared --shards / --shard-policy flags; returns false on a
 /// bad policy name.
-bool apply_shard_flags(const Args& args, simcluster::SimConfig& config) {
+bool apply_shard_flags(const CliArgs& args, simcluster::SimConfig& config) {
   config.shard_count =
       static_cast<std::size_t>(args.get_double("shards", 1));
   const auto policy = parse_shard_policy(args.get("shard-policy", "p2c"));
@@ -169,7 +176,16 @@ bool apply_shard_flags(const Args& args, simcluster::SimConfig& config) {
   return true;
 }
 
-int cmd_trace_generate(const Args& args) {
+int cmd_trace_generate(const CliArgs& args) {
+  CliValidator validator(args);
+  validator
+      .allow_only({"vms", "hours", "seed", "out", "interactive-share"})
+      .require_integer_at_least("vms", 1)
+      .require_at_least("hours", 0.001)
+      .require_at_least("seed", 0)
+      .require_in_range("interactive-share", 0.0, 1.0);
+  if (report_errors(validator)) return 1;
+
   trace::AzureTraceConfig config;
   config.vm_count = static_cast<std::size_t>(args.get_double("vms", 10000));
   config.seed = static_cast<std::uint64_t>(args.get_double("seed", 42));
@@ -184,7 +200,12 @@ int cmd_trace_generate(const Args& args) {
   return 0;
 }
 
-int cmd_trace_stats(const Args& args) {
+int cmd_trace_stats(const CliArgs& args) {
+  CliValidator validator(args);
+  validator.allow_only({"in", "deflation"})
+      .require_in_range("deflation", 0.0, 1.0);
+  if (report_errors(validator)) return 1;
+
   const std::string in = args.get("in", "");
   if (in.empty()) return usage();
   const auto records = trace::load_trace(in);
@@ -215,25 +236,54 @@ int cmd_trace_stats(const Args& args) {
   return 0;
 }
 
-int cmd_simulate(const Args& args) {
+int cmd_simulate(const CliArgs& args) {
+  CliValidator validator(args);
+  validator
+      .allow_only({"in", "overcommit", "policy", "mode", "mechanism",
+                   "placement", "partitioned", "no-reinflate", "servers",
+                   "shards", "shard-policy"})
+      .require_at_least("overcommit", -0.9)
+      .require_integer_at_least("servers", 1)
+      .require_integer_at_least("shards", 1);
+  if (report_errors(validator)) return 1;
+
   const std::string in = args.get("in", "");
   if (in.empty()) return usage();
   const auto records = trace::load_trace(in);
 
   simcluster::SimConfig config;
   const auto policy = parse_policy(args.get("policy", "proportional"));
+  if (!policy) return flag_error("flag --policy: unknown value '" +
+                                 args.get("policy", "") +
+                                 "' (expected proportional|priority|"
+                                 "priority-nomin|deterministic)");
   const auto mechanism = parse_mechanism(args.get("mechanism", "hybrid"));
+  if (!mechanism) return flag_error("flag --mechanism: unknown value '" +
+                                    args.get("mechanism", "") +
+                                    "' (expected hybrid|transparent|"
+                                    "explicit|balloon)");
   const auto placement = parse_placement(args.get("placement", "fitness"));
-  if (!policy || !mechanism || !placement) return usage();
+  if (!placement) return flag_error("flag --placement: unknown value '" +
+                                    args.get("placement", "") +
+                                    "' (expected fitness|first-fit|"
+                                    "best-fit|worst-fit)");
   config.policy = *policy;
   config.mechanism = *mechanism;
   config.placement = *placement;
-  config.mode = args.get("mode", "deflation") == "preemption"
-                    ? cluster::ReclamationMode::Preemption
-                    : cluster::ReclamationMode::Deflation;
+  const std::string mode = args.get("mode", "deflation");
+  if (mode != "deflation" && mode != "preemption") {
+    return flag_error("flag --mode: unknown value '" + mode +
+                      "' (expected deflation|preemption)");
+  }
+  config.mode = mode == "preemption" ? cluster::ReclamationMode::Preemption
+                                     : cluster::ReclamationMode::Deflation;
   config.partitioned = args.has("partitioned");
   config.reinflate_on_departure = !args.has("no-reinflate");
-  if (!apply_shard_flags(args, config)) return usage();
+  if (!apply_shard_flags(args, config)) {
+    return flag_error("flag --shard-policy: unknown value '" +
+                      args.get("shard-policy", "") +
+                      "' (expected p2c|least-loaded|round-robin)");
+  }
 
   const double overcommit = args.get_double("overcommit", 0.0);
   if (args.has("servers")) {
@@ -284,19 +334,71 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
-int cmd_revoke_sim(const Args& args) {
+int cmd_revoke_sim(const CliArgs& args) {
+  CliValidator validator(args);
+  validator
+      .allow_only({"in", "servers", "model", "rate", "bid", "no-portfolio",
+                   "od-share", "floor", "risk", "mode", "partitioned", "seed",
+                   "markets", "correlation", "common-shock-rate", "shards",
+                   "shard-policy", "warning-secs", "migration-bandwidth",
+                   "migration-dirty-rate", "migration-contention",
+                   "migration-strategy", "admission", "price-ceiling",
+                   "defer-hours", "bid-opt"})
+      .require_integer_at_least("servers", 1)
+      .require_integer_at_least("shards", 1)
+      .require_integer_at_least("markets", 1)
+      .require_at_least("rate", 0.0)
+      .require_in_range("bid", 1e-6, 100.0)
+      .require_in_range("od-share", 0.0, 1.0)
+      .require_in_range("floor", 0.0, 1.0)
+      .require_at_least("risk", 0.0)
+      .require_at_least("seed", 0)
+      .require_in_range("correlation", -1.0, 1.0)
+      .require_at_least("common-shock-rate", 0.0)
+      .require_at_least("warning-secs", 0.0)
+      .require_at_least("migration-bandwidth", 0.0)
+      .require_at_least("migration-dirty-rate", 0.0)
+      .require_in_range("price-ceiling", 1e-6, 100.0)
+      .require_at_least("defer-hours", 0.0)
+      .check(!args.has("price-ceiling") ||
+                 args.get("admission", "admit-all") == "price",
+             "flag --price-ceiling requires --admission price (admit-all "
+             "ignores it; bid-opt derives its ceilings from the optimizer)")
+      .check(!args.has("defer-hours") ||
+                 args.get("admission", "admit-all") == "price" ||
+                 args.get("admission", "admit-all") == "bid-opt",
+             "flag --defer-hours requires --admission price|bid-opt (the "
+             "deferral window has no effect under admit-all)")
+      .check(!(args.has("bid") &&
+               (args.has("bid-opt") ||
+                args.get("admission", "admit-all") == "bid-opt")),
+             "flags --bid and --bid-opt/--admission bid-opt conflict (the "
+             "optimizer replaces the hand-set bid)")
+      .check(!args.has("correlation") || args.get_double("markets", 1) >= 2,
+             "flag --correlation needs --markets >= 2 (a single market has "
+             "no pairwise correlation)");
+  if (report_errors(validator)) return 1;
+
   const std::string in = args.get("in", "");
   if (in.empty()) return usage();
   const auto records = trace::load_trace(in);
 
   simcluster::SimConfig config;
-  config.mode = args.get("mode", "deflation") == "preemption"
-                    ? cluster::ReclamationMode::Preemption
-                    : cluster::ReclamationMode::Deflation;
+  const std::string mode = args.get("mode", "deflation");
+  if (mode != "deflation" && mode != "preemption") {
+    return flag_error("flag --mode: unknown value '" + mode +
+                      "' (expected deflation|preemption)");
+  }
+  config.mode = mode == "preemption" ? cluster::ReclamationMode::Preemption
+                                     : cluster::ReclamationMode::Deflation;
   // With --partitioned the portfolio's pool weights shape the partitions
   // and the on-demand pool is exactly the never-revoked server set.
   config.partitioned = args.has("partitioned");
-  if (!apply_shard_flags(args, config)) return usage();
+  if (!apply_shard_flags(args, config)) {
+    return flag_error("flag --shard-policy: unknown value '" +
+                      args.get("shard-policy", "") +
+                      "' (expected p2c|least-loaded|round-robin)");
+  }
   if (args.has("servers")) {
     config.server_count =
         static_cast<std::size_t>(args.get_double("servers", 40));
@@ -308,7 +410,9 @@ int cmd_revoke_sim(const Args& args) {
   }
 
   const auto model = parse_revocation_model(args.get("model", "poisson"));
-  if (!model) return usage();
+  if (!model) return flag_error("flag --model: unknown value '" +
+                                args.get("model", "") +
+                                "' (expected none|poisson|temporal|price)");
   config.market_enabled = true;
   config.market.seed = static_cast<std::uint64_t>(args.get_double("seed", 42));
   config.market.revocation.model = *model;
@@ -320,6 +424,20 @@ int cmd_revoke_sim(const Args& args) {
   config.market.portfolio.on_demand_floor = args.get_double("floor", 0.1);
   config.market.portfolio.risk_aversion = args.get_double("risk", 2.0);
 
+  // Admission API v2 + per-class bid optimization.
+  const std::string admission = args.get("admission", "admit-all");
+  const auto admission_policy = parse_admission_policy(admission);
+  if (!admission_policy) {
+    return flag_error("flag --admission: unknown value '" + admission +
+                      "' (expected admit-all|price|bid-opt)");
+  }
+  config.admission.policy = *admission_policy;
+  config.admission.default_ceiling = args.get_double("price-ceiling", 0.35);
+  config.admission.max_defer_hours = args.get_double("defer-hours", 6.0);
+  config.market.optimize_bids =
+      args.has("bid-opt") ||
+      *admission_policy == cluster::AdmissionPolicyKind::BidOptimized;
+
   // Timed migration: set the warning before replicate_markets below so
   // every market copy inherits it.
   config.market.revocation.warning_hours =
@@ -328,6 +446,7 @@ int cmd_revoke_sim(const Args& args) {
       args.get_double("migration-bandwidth", 0.0);
   config.migration.model.dirty_mib_per_sec =
       args.get_double("migration-dirty-rate", 64.0);
+  config.migration.model.share_bandwidth = args.has("migration-contention");
   const std::string strategy = args.get("migration-strategy", "hybrid");
   if (strategy == "migrate") {
     config.migration.deflate_before_transfer = false;
@@ -339,7 +458,8 @@ int cmd_revoke_sim(const Args& args) {
     config.migration.deflate_before_transfer = true;
     config.migration.checkpoint_fallback = true;
   } else {
-    return usage();
+    return flag_error("flag --migration-strategy: unknown value '" + strategy +
+                      "' (expected migrate|deflate|hybrid)");
   }
 
   // Multi-market fleet: K copies of the configured market, coupled by a
@@ -375,6 +495,19 @@ int cmd_revoke_sim(const Args& args) {
   table.add_row({"revocations", std::to_string(metrics.revocations)});
   table.add_row({"vm migrations", std::to_string(metrics.revocation_migrations)});
   table.add_row({"vm kills", std::to_string(metrics.revocation_kills)});
+  if (*admission_policy != cluster::AdmissionPolicyKind::AdmitAll) {
+    table.add_row({"admission policy",
+                   cluster::admission_policy_name(*admission_policy)});
+    table.add_row({"deferrals", std::to_string(metrics.admission_deferrals)});
+    table.add_row({"expired deferrals",
+                   std::to_string(metrics.admission_expired)});
+    table.add_row({"deferred delay",
+                   util::format_double(metrics.admission_delay_hours, 1) +
+                       " h (unserved cost " +
+                       util::format_double(
+                           metrics.cost.admission_unserved_cost, 1) +
+                       ")"});
+  }
   if (config.migration.model.bandwidth_mib_per_sec > 0.0) {
     table.add_row({"migration strategy", strategy});
     table.add_row({"warning", args.get("warning-secs", "0") + "s @ " +
@@ -419,7 +552,11 @@ int cmd_revoke_sim(const Args& args) {
   return 0;
 }
 
-int cmd_feasibility(const Args& args) {
+int cmd_feasibility(const CliArgs& args) {
+  CliValidator validator(args);
+  validator.allow_only({"in"});
+  if (report_errors(validator)) return 1;
+
   const std::string in = args.get("in", "");
   if (in.empty()) return usage();
   const auto records = trace::load_trace(in);
@@ -437,7 +574,7 @@ int cmd_feasibility(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+  const CliArgs args = util::parse_cli(argc, argv);
   if (args.positional.empty()) return usage();
   try {
     const std::string& command = args.positional[0];
@@ -449,6 +586,10 @@ int main(int argc, char** argv) {
     if (command == "feasibility") return cmd_feasibility(args);
     if (command == "revoke-sim") return cmd_revoke_sim(args);
     return usage();
+  } catch (const std::invalid_argument& error) {
+    // Malformed flag values are usage errors, not runtime failures.
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 2;
