@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balloon.dir/bench/ablation_balloon.cpp.o"
+  "CMakeFiles/bench_ablation_balloon.dir/bench/ablation_balloon.cpp.o.d"
+  "bench_ablation_balloon"
+  "bench_ablation_balloon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balloon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mechanisms.dir/bench/ablation_mechanisms.cpp.o"
+  "CMakeFiles/bench_ablation_mechanisms.dir/bench/ablation_mechanisms.cpp.o.d"
+  "bench_ablation_mechanisms"
+  "bench_ablation_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

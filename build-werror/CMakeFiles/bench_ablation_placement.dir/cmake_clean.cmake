@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_placement.dir/bench/ablation_placement.cpp.o"
+  "CMakeFiles/bench_ablation_placement.dir/bench/ablation_placement.cpp.o.d"
+  "bench_ablation_placement"
+  "bench_ablation_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reinflation.dir/bench/ablation_reinflation.cpp.o"
+  "CMakeFiles/bench_ablation_reinflation.dir/bench/ablation_reinflation.cpp.o.d"
+  "bench_ablation_reinflation"
+  "bench_ablation_reinflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reinflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_perf_model.dir/bench/fig02_perf_model.cpp.o"
+  "CMakeFiles/bench_fig02_perf_model.dir/bench/fig02_perf_model.cpp.o.d"
+  "bench_fig02_perf_model"
+  "bench_fig02_perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

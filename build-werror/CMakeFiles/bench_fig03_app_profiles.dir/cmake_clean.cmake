@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_app_profiles.dir/bench/fig03_app_profiles.cpp.o"
+  "CMakeFiles/bench_fig03_app_profiles.dir/bench/fig03_app_profiles.cpp.o.d"
+  "bench_fig03_app_profiles"
+  "bench_fig03_app_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_app_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

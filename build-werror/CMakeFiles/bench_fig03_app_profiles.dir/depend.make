@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig03_app_profiles.
+# This may be replaced when dependencies are built.

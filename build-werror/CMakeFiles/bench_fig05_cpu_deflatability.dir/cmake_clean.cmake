@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cpu_deflatability.dir/bench/fig05_cpu_deflatability.cpp.o"
+  "CMakeFiles/bench_fig05_cpu_deflatability.dir/bench/fig05_cpu_deflatability.cpp.o.d"
+  "bench_fig05_cpu_deflatability"
+  "bench_fig05_cpu_deflatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cpu_deflatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

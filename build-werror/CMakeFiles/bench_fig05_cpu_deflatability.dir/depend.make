@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_cpu_deflatability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_size_breakdown.dir/bench/fig07_size_breakdown.cpp.o"
+  "CMakeFiles/bench_fig07_size_breakdown.dir/bench/fig07_size_breakdown.cpp.o.d"
+  "bench_fig07_size_breakdown"
+  "bench_fig07_size_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_size_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

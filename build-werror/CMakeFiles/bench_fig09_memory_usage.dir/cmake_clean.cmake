@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_memory_usage.dir/bench/fig09_memory_usage.cpp.o"
+  "CMakeFiles/bench_fig09_memory_usage.dir/bench/fig09_memory_usage.cpp.o.d"
+  "bench_fig09_memory_usage"
+  "bench_fig09_memory_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_memory_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_membw.dir/bench/fig10_membw.cpp.o"
+  "CMakeFiles/bench_fig10_membw.dir/bench/fig10_membw.cpp.o.d"
+  "bench_fig10_membw"
+  "bench_fig10_membw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_membw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

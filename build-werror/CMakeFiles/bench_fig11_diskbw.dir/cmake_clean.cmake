@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_diskbw.dir/bench/fig11_diskbw.cpp.o"
+  "CMakeFiles/bench_fig11_diskbw.dir/bench/fig11_diskbw.cpp.o.d"
+  "bench_fig11_diskbw"
+  "bench_fig11_diskbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_diskbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

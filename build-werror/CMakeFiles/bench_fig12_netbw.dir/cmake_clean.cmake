@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_netbw.dir/bench/fig12_netbw.cpp.o"
+  "CMakeFiles/bench_fig12_netbw.dir/bench/fig12_netbw.cpp.o.d"
+  "bench_fig12_netbw"
+  "bench_fig12_netbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_netbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_memory_hybrid.dir/bench/fig14_memory_hybrid.cpp.o"
+  "CMakeFiles/bench_fig14_memory_hybrid.dir/bench/fig14_memory_hybrid.cpp.o.d"
+  "bench_fig14_memory_hybrid"
+  "bench_fig14_memory_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_memory_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

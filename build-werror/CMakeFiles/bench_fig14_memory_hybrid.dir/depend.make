@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14_memory_hybrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_wiki_rt.dir/bench/fig16_wiki_rt.cpp.o"
+  "CMakeFiles/bench_fig16_wiki_rt.dir/bench/fig16_wiki_rt.cpp.o.d"
+  "bench_fig16_wiki_rt"
+  "bench_fig16_wiki_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_wiki_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig16_wiki_rt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_wiki_served.dir/bench/fig17_wiki_served.cpp.o"
+  "CMakeFiles/bench_fig17_wiki_served.dir/bench/fig17_wiki_served.cpp.o.d"
+  "bench_fig17_wiki_served"
+  "bench_fig17_wiki_served.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_wiki_served.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

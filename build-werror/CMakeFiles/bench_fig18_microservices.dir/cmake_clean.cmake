@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_microservices.dir/bench/fig18_microservices.cpp.o"
+  "CMakeFiles/bench_fig18_microservices.dir/bench/fig18_microservices.cpp.o.d"
+  "bench_fig18_microservices"
+  "bench_fig18_microservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_microservices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_lb.dir/bench/fig19_lb.cpp.o"
+  "CMakeFiles/bench_fig19_lb.dir/bench/fig19_lb.cpp.o.d"
+  "bench_fig19_lb"
+  "bench_fig19_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig19_lb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_failure_prob.dir/bench/fig20_failure_prob.cpp.o"
+  "CMakeFiles/bench_fig20_failure_prob.dir/bench/fig20_failure_prob.cpp.o.d"
+  "bench_fig20_failure_prob"
+  "bench_fig20_failure_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_failure_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

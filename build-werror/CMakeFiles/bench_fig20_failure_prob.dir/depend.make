@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig20_failure_prob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_throughput.dir/bench/fig21_throughput.cpp.o"
+  "CMakeFiles/bench_fig21_throughput.dir/bench/fig21_throughput.cpp.o.d"
+  "bench_fig21_throughput"
+  "bench_fig21_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_revenue.dir/bench/fig22_revenue.cpp.o"
+  "CMakeFiles/bench_fig22_revenue.dir/bench/fig22_revenue.cpp.o.d"
+  "bench_fig22_revenue"
+  "bench_fig22_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_mechanisms.dir/bench/micro_mechanisms.cpp.o"
+  "CMakeFiles/bench_micro_mechanisms.dir/bench/micro_mechanisms.cpp.o.d"
+  "bench_micro_mechanisms"
+  "bench_micro_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_placement.dir/bench/micro_placement.cpp.o"
+  "CMakeFiles/bench_micro_placement.dir/bench/micro_placement.cpp.o.d"
+  "bench_micro_placement"
+  "bench_micro_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

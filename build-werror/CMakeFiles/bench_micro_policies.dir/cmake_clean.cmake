@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_policies.dir/bench/micro_policies.cpp.o"
+  "CMakeFiles/bench_micro_policies.dir/bench/micro_policies.cpp.o.d"
+  "bench_micro_policies"
+  "bench_micro_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_simkernel.dir/bench/micro_simkernel.cpp.o"
+  "CMakeFiles/bench_micro_simkernel.dir/bench/micro_simkernel.cpp.o.d"
+  "bench_micro_simkernel"
+  "bench_micro_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

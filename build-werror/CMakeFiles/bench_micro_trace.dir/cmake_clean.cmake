@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_trace.dir/bench/micro_trace.cpp.o"
+  "CMakeFiles/bench_micro_trace.dir/bench/micro_trace.cpp.o.d"
+  "bench_micro_trace"
+  "bench_micro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_admission.dir/bench/scenario_admission.cpp.o"
+  "CMakeFiles/bench_scenario_admission.dir/bench/scenario_admission.cpp.o.d"
+  "bench_scenario_admission"
+  "bench_scenario_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

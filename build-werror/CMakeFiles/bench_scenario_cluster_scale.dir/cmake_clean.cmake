@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_cluster_scale.dir/bench/scenario_cluster_scale.cpp.o"
+  "CMakeFiles/bench_scenario_cluster_scale.dir/bench/scenario_cluster_scale.cpp.o.d"
+  "bench_scenario_cluster_scale"
+  "bench_scenario_cluster_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_cluster_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

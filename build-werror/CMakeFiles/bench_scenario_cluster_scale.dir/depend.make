@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_scenario_cluster_scale.
+# This may be replaced when dependencies are built.

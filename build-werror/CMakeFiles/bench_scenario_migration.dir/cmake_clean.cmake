@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_migration.dir/bench/scenario_migration.cpp.o"
+  "CMakeFiles/bench_scenario_migration.dir/bench/scenario_migration.cpp.o.d"
+  "bench_scenario_migration"
+  "bench_scenario_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

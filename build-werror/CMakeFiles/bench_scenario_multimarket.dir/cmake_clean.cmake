@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_multimarket.dir/bench/scenario_multimarket.cpp.o"
+  "CMakeFiles/bench_scenario_multimarket.dir/bench/scenario_multimarket.cpp.o.d"
+  "bench_scenario_multimarket"
+  "bench_scenario_multimarket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_multimarket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scenario_revocation.dir/bench/scenario_revocation.cpp.o"
+  "CMakeFiles/bench_scenario_revocation.dir/bench/scenario_revocation.cpp.o.d"
+  "bench_scenario_revocation"
+  "bench_scenario_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scenario_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/feasibility.cpp" "CMakeFiles/deflate.dir/src/analysis/feasibility.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/analysis/feasibility.cpp.o.d"
+  "/root/repo/src/cluster/admission.cpp" "CMakeFiles/deflate.dir/src/cluster/admission.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/admission.cpp.o.d"
+  "/root/repo/src/cluster/cluster_manager.cpp" "CMakeFiles/deflate.dir/src/cluster/cluster_manager.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/cluster_manager.cpp.o.d"
+  "/root/repo/src/cluster/migration.cpp" "CMakeFiles/deflate.dir/src/cluster/migration.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/migration.cpp.o.d"
+  "/root/repo/src/cluster/partitions.cpp" "CMakeFiles/deflate.dir/src/cluster/partitions.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/partitions.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "CMakeFiles/deflate.dir/src/cluster/placement.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/placement.cpp.o.d"
+  "/root/repo/src/cluster/pricing.cpp" "CMakeFiles/deflate.dir/src/cluster/pricing.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/pricing.cpp.o.d"
+  "/root/repo/src/cluster/sharded_manager.cpp" "CMakeFiles/deflate.dir/src/cluster/sharded_manager.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/sharded_manager.cpp.o.d"
+  "/root/repo/src/cluster/wire.cpp" "CMakeFiles/deflate.dir/src/cluster/wire.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/cluster/wire.cpp.o.d"
+  "/root/repo/src/core/local_controller.cpp" "CMakeFiles/deflate.dir/src/core/local_controller.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/core/local_controller.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "CMakeFiles/deflate.dir/src/core/perf_model.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/core/perf_model.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "CMakeFiles/deflate.dir/src/core/policy.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/core/policy.cpp.o.d"
+  "/root/repo/src/hypervisor/guest_os.cpp" "CMakeFiles/deflate.dir/src/hypervisor/guest_os.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/hypervisor/guest_os.cpp.o.d"
+  "/root/repo/src/hypervisor/host.cpp" "CMakeFiles/deflate.dir/src/hypervisor/host.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/hypervisor/host.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "CMakeFiles/deflate.dir/src/hypervisor/hypervisor.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/hypervisor/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/virt.cpp" "CMakeFiles/deflate.dir/src/hypervisor/virt.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/hypervisor/virt.cpp.o.d"
+  "/root/repo/src/hypervisor/vm.cpp" "CMakeFiles/deflate.dir/src/hypervisor/vm.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/hypervisor/vm.cpp.o.d"
+  "/root/repo/src/mechanisms/balloon.cpp" "CMakeFiles/deflate.dir/src/mechanisms/balloon.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/mechanisms/balloon.cpp.o.d"
+  "/root/repo/src/mechanisms/explicit_hotplug.cpp" "CMakeFiles/deflate.dir/src/mechanisms/explicit_hotplug.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/mechanisms/explicit_hotplug.cpp.o.d"
+  "/root/repo/src/mechanisms/hybrid.cpp" "CMakeFiles/deflate.dir/src/mechanisms/hybrid.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/mechanisms/hybrid.cpp.o.d"
+  "/root/repo/src/mechanisms/mechanism.cpp" "CMakeFiles/deflate.dir/src/mechanisms/mechanism.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/mechanisms/mechanism.cpp.o.d"
+  "/root/repo/src/mechanisms/transparent.cpp" "CMakeFiles/deflate.dir/src/mechanisms/transparent.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/mechanisms/transparent.cpp.o.d"
+  "/root/repo/src/resources/resource_vector.cpp" "CMakeFiles/deflate.dir/src/resources/resource_vector.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/resources/resource_vector.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/deflate.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/simcluster/cluster_sim.cpp" "CMakeFiles/deflate.dir/src/simcluster/cluster_sim.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/simcluster/cluster_sim.cpp.o.d"
+  "/root/repo/src/trace/alibaba.cpp" "CMakeFiles/deflate.dir/src/trace/alibaba.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/trace/alibaba.cpp.o.d"
+  "/root/repo/src/trace/azure.cpp" "CMakeFiles/deflate.dir/src/trace/azure.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/trace/azure.cpp.o.d"
+  "/root/repo/src/trace/series.cpp" "CMakeFiles/deflate.dir/src/trace/series.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/trace/series.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "CMakeFiles/deflate.dir/src/trace/trace_io.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/vm_record.cpp" "CMakeFiles/deflate.dir/src/trace/vm_record.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/trace/vm_record.cpp.o.d"
+  "/root/repo/src/transient/bidding.cpp" "CMakeFiles/deflate.dir/src/transient/bidding.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/transient/bidding.cpp.o.d"
+  "/root/repo/src/transient/market.cpp" "CMakeFiles/deflate.dir/src/transient/market.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/transient/market.cpp.o.d"
+  "/root/repo/src/transient/portfolio.cpp" "CMakeFiles/deflate.dir/src/transient/portfolio.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/transient/portfolio.cpp.o.d"
+  "/root/repo/src/transient/revocation.cpp" "CMakeFiles/deflate.dir/src/transient/revocation.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/transient/revocation.cpp.o.d"
+  "/root/repo/src/transient/spot_price.cpp" "CMakeFiles/deflate.dir/src/transient/spot_price.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/transient/spot_price.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/deflate.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/deflate.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "CMakeFiles/deflate.dir/src/util/logging.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/deflate.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/deflate.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/deflate.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workloads/latency_recorder.cpp" "CMakeFiles/deflate.dir/src/workloads/latency_recorder.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/workloads/latency_recorder.cpp.o.d"
+  "/root/repo/src/workloads/load_balancer.cpp" "CMakeFiles/deflate.dir/src/workloads/load_balancer.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/workloads/load_balancer.cpp.o.d"
+  "/root/repo/src/workloads/microservice.cpp" "CMakeFiles/deflate.dir/src/workloads/microservice.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/workloads/microservice.cpp.o.d"
+  "/root/repo/src/workloads/open_loop.cpp" "CMakeFiles/deflate.dir/src/workloads/open_loop.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/workloads/open_loop.cpp.o.d"
+  "/root/repo/src/workloads/ps_station.cpp" "CMakeFiles/deflate.dir/src/workloads/ps_station.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/workloads/ps_station.cpp.o.d"
+  "/root/repo/src/workloads/wikipedia.cpp" "CMakeFiles/deflate.dir/src/workloads/wikipedia.cpp.o" "gcc" "CMakeFiles/deflate.dir/src/workloads/wikipedia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflatectl.dir/tools/deflatectl.cpp.o"
+  "CMakeFiles/deflatectl.dir/tools/deflatectl.cpp.o.d"
+  "deflatectl"
+  "deflatectl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflatectl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cluster_sim.dir/examples/cluster_sim.cpp.o"
+  "CMakeFiles/example_cluster_sim.dir/examples/cluster_sim.cpp.o.d"
+  "example_cluster_sim"
+  "example_cluster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

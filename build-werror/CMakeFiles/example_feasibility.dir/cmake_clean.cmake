@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_feasibility.dir/examples/feasibility.cpp.o"
+  "CMakeFiles/example_feasibility.dir/examples/feasibility.cpp.o.d"
+  "example_feasibility"
+  "example_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transient_market.dir/examples/transient_market.cpp.o"
+  "CMakeFiles/example_transient_market.dir/examples/transient_market.cpp.o.d"
+  "example_transient_market"
+  "example_transient_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transient_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

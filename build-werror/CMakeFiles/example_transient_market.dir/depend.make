@@ -1,0 +1,2 @@
+# Empty dependencies file for example_transient_market.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_cluster.dir/examples/web_cluster.cpp.o"
+  "CMakeFiles/example_web_cluster.dir/examples/web_cluster.cpp.o.d"
+  "example_web_cluster"
+  "example_web_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

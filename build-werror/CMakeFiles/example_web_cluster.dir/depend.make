@@ -1,0 +1,2 @@
+# Empty dependencies file for example_web_cluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admission.dir/tests/test_admission.cpp.o"
+  "CMakeFiles/test_admission.dir/tests/test_admission.cpp.o.d"
+  "test_admission"
+  "test_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/tests/test_analysis.cpp.o"
+  "CMakeFiles/test_analysis.dir/tests/test_analysis.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_balloon_ablation.dir/tests/test_balloon_ablation.cpp.o"
+  "CMakeFiles/test_balloon_ablation.dir/tests/test_balloon_ablation.cpp.o.d"
+  "test_balloon_ablation"
+  "test_balloon_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_balloon_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

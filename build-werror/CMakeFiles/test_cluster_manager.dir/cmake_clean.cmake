@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_manager.dir/tests/test_cluster_manager.cpp.o"
+  "CMakeFiles/test_cluster_manager.dir/tests/test_cluster_manager.cpp.o.d"
+  "test_cluster_manager"
+  "test_cluster_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_scale.dir/tests/test_cluster_scale.cpp.o"
+  "CMakeFiles/test_cluster_scale.dir/tests/test_cluster_scale.cpp.o.d"
+  "test_cluster_scale"
+  "test_cluster_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

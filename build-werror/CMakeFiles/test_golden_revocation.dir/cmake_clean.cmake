@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_revocation.dir/tests/test_golden_revocation.cpp.o"
+  "CMakeFiles/test_golden_revocation.dir/tests/test_golden_revocation.cpp.o.d"
+  "test_golden_revocation"
+  "test_golden_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest_os.dir/tests/test_guest_os.cpp.o"
+  "CMakeFiles/test_guest_os.dir/tests/test_guest_os.cpp.o.d"
+  "test_guest_os"
+  "test_guest_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

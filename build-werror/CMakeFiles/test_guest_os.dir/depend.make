@@ -1,0 +1,2 @@
+# Empty dependencies file for test_guest_os.
+# This may be replaced when dependencies are built.

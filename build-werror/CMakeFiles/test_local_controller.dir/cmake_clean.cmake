@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_controller.dir/tests/test_local_controller.cpp.o"
+  "CMakeFiles/test_local_controller.dir/tests/test_local_controller.cpp.o.d"
+  "test_local_controller"
+  "test_local_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mechanisms.dir/tests/test_mechanisms.cpp.o"
+  "CMakeFiles/test_mechanisms.dir/tests/test_mechanisms.cpp.o.d"
+  "test_mechanisms"
+  "test_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

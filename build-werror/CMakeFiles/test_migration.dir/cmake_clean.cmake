@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_migration.dir/tests/test_migration.cpp.o"
+  "CMakeFiles/test_migration.dir/tests/test_migration.cpp.o.d"
+  "test_migration"
+  "test_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitions_pricing.dir/tests/test_partitions_pricing.cpp.o"
+  "CMakeFiles/test_partitions_pricing.dir/tests/test_partitions_pricing.cpp.o.d"
+  "test_partitions_pricing"
+  "test_partitions_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitions_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_model.dir/tests/test_perf_model.cpp.o"
+  "CMakeFiles/test_perf_model.dir/tests/test_perf_model.cpp.o.d"
+  "test_perf_model"
+  "test_perf_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_perf_model.
+# This may be replaced when dependencies are built.

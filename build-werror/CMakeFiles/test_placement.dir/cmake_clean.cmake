@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placement.dir/tests/test_placement.cpp.o"
+  "CMakeFiles/test_placement.dir/tests/test_placement.cpp.o.d"
+  "test_placement"
+  "test_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

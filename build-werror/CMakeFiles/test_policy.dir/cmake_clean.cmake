@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy.dir/tests/test_policy.cpp.o"
+  "CMakeFiles/test_policy.dir/tests/test_policy.cpp.o.d"
+  "test_policy"
+  "test_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

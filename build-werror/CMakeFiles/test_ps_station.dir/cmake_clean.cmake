@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ps_station.dir/tests/test_ps_station.cpp.o"
+  "CMakeFiles/test_ps_station.dir/tests/test_ps_station.cpp.o.d"
+  "test_ps_station"
+  "test_ps_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ps_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resources.dir/tests/test_resources.cpp.o"
+  "CMakeFiles/test_resources.dir/tests/test_resources.cpp.o.d"
+  "test_resources"
+  "test_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

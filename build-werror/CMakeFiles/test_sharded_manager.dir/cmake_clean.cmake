@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_manager.dir/tests/test_sharded_manager.cpp.o"
+  "CMakeFiles/test_sharded_manager.dir/tests/test_sharded_manager.cpp.o.d"
+  "test_sharded_manager"
+  "test_sharded_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

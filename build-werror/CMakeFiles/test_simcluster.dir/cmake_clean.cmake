@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcluster.dir/tests/test_simcluster.cpp.o"
+  "CMakeFiles/test_simcluster.dir/tests/test_simcluster.cpp.o.d"
+  "test_simcluster"
+  "test_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_alibaba.dir/tests/test_trace_alibaba.cpp.o"
+  "CMakeFiles/test_trace_alibaba.dir/tests/test_trace_alibaba.cpp.o.d"
+  "test_trace_alibaba"
+  "test_trace_alibaba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_alibaba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_azure.dir/tests/test_trace_azure.cpp.o"
+  "CMakeFiles/test_trace_azure.dir/tests/test_trace_azure.cpp.o.d"
+  "test_trace_azure"
+  "test_trace_azure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_azure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_io.dir/tests/test_trace_io.cpp.o"
+  "CMakeFiles/test_trace_io.dir/tests/test_trace_io.cpp.o.d"
+  "test_trace_io"
+  "test_trace_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_multimarket.dir/tests/test_transient_multimarket.cpp.o"
+  "CMakeFiles/test_transient_multimarket.dir/tests/test_transient_multimarket.cpp.o.d"
+  "test_transient_multimarket"
+  "test_transient_multimarket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_multimarket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_portfolio.dir/tests/test_transient_portfolio.cpp.o"
+  "CMakeFiles/test_transient_portfolio.dir/tests/test_transient_portfolio.cpp.o.d"
+  "test_transient_portfolio"
+  "test_transient_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_price.dir/tests/test_transient_price.cpp.o"
+  "CMakeFiles/test_transient_price.dir/tests/test_transient_price.cpp.o.d"
+  "test_transient_price"
+  "test_transient_price.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_revocation.dir/tests/test_transient_revocation.cpp.o"
+  "CMakeFiles/test_transient_revocation.dir/tests/test_transient_revocation.cpp.o.d"
+  "test_transient_revocation"
+  "test_transient_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

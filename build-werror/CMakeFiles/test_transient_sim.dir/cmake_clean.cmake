@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient_sim.dir/tests/test_transient_sim.cpp.o"
+  "CMakeFiles/test_transient_sim.dir/tests/test_transient_sim.cpp.o.d"
+  "test_transient_sim"
+  "test_transient_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

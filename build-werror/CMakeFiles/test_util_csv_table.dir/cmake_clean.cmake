@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_csv_table.dir/tests/test_util_csv_table.cpp.o"
+  "CMakeFiles/test_util_csv_table.dir/tests/test_util_csv_table.cpp.o.d"
+  "test_util_csv_table"
+  "test_util_csv_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_csv_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_rng.dir/tests/test_util_rng.cpp.o"
+  "CMakeFiles/test_util_rng.dir/tests/test_util_rng.cpp.o.d"
+  "test_util_rng"
+  "test_util_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_stats.dir/tests/test_util_stats.cpp.o"
+  "CMakeFiles/test_util_stats.dir/tests/test_util_stats.cpp.o.d"
+  "test_util_stats"
+  "test_util_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_threadpool.dir/tests/test_util_threadpool.cpp.o"
+  "CMakeFiles/test_util_threadpool.dir/tests/test_util_threadpool.cpp.o.d"
+  "test_util_threadpool"
+  "test_util_threadpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_threadpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

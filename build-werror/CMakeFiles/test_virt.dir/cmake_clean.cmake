@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virt.dir/tests/test_virt.cpp.o"
+  "CMakeFiles/test_virt.dir/tests/test_virt.cpp.o.d"
+  "test_virt"
+  "test_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_host.dir/tests/test_vm_host.cpp.o"
+  "CMakeFiles/test_vm_host.dir/tests/test_vm_host.cpp.o.d"
+  "test_vm_host"
+  "test_vm_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire.dir/tests/test_wire.cpp.o"
+  "CMakeFiles/test_wire.dir/tests/test_wire.cpp.o.d"
+  "test_wire"
+  "test_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

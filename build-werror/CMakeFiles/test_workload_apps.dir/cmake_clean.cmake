@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_apps.dir/tests/test_workload_apps.cpp.o"
+  "CMakeFiles/test_workload_apps.dir/tests/test_workload_apps.cpp.o.d"
+  "test_workload_apps"
+  "test_workload_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_workload_apps.
+# This may be replaced when dependencies are built.
