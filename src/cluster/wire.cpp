@@ -83,6 +83,26 @@ std::map<std::string, std::string> decode_fields(const std::string& line) {
   return fields;
 }
 
+std::string encode_envelope(const std::string& type,
+                            std::map<std::string, std::string> fields) {
+  fields["type"] = type;
+  fields["v"] = std::to_string(kWireVersion);
+  return encode_fields(fields);
+}
+
+std::optional<std::map<std::string, std::string>> decode_envelope(
+    const std::string& type, const std::string& line) {
+  auto fields = decode_fields(line);
+  const auto version = fields.find("v");
+  if (version == fields.end() ||
+      version->second != std::to_string(kWireVersion)) {
+    return std::nullopt;
+  }
+  const auto tag = fields.find("type");
+  if (tag == fields.end() || tag->second != type) return std::nullopt;
+  return fields;
+}
+
 std::string encode_vector(const res::ResourceVector& v) {
   std::ostringstream out;
   out << v.cpu() << ',' << v.memory() << ',' << v.disk_bw() << ','
@@ -106,117 +126,106 @@ std::optional<res::ResourceVector> decode_vector(const std::string& text) {
 }
 
 std::string PlaceRequest::encode() const {
-  return encode_fields({{"type", "place_request"},
-                        {"vm", std::to_string(vm_id)},
-                        {"demand", encode_vector(demand)},
-                        {"priority", std::to_string(priority)},
-                        {"deflatable", deflatable ? "1" : "0"}});
+  return encode_envelope("place_request",
+                         {{"vm", std::to_string(vm_id)},
+                          {"demand", encode_vector(demand)},
+                          {"priority", std::to_string(priority)},
+                          {"deflatable", deflatable ? "1" : "0"}});
 }
 
 std::optional<PlaceRequest> PlaceRequest::decode(const std::string& line) {
-  const auto fields = decode_fields(line);
-  if (!has_fields(fields, {"type", "vm", "demand"}) ||
-      fields.at("type") != "place_request") {
-    return std::nullopt;
-  }
-  const auto demand = decode_vector(fields.at("demand"));
+  const auto fields = decode_envelope("place_request", line);
+  if (!fields || !has_fields(*fields, {"vm", "demand"})) return std::nullopt;
+  const auto demand = decode_vector(fields->at("demand"));
   if (!demand) return std::nullopt;
   PlaceRequest request;
-  request.vm_id = field_u64(fields, "vm");
+  request.vm_id = field_u64(*fields, "vm");
   request.demand = *demand;
-  request.priority = field_double(fields, "priority", 1.0);
-  request.deflatable = fields.count("deflatable") && fields.at("deflatable") == "1";
+  request.priority = field_double(*fields, "priority", 1.0);
+  request.deflatable =
+      fields->count("deflatable") && fields->at("deflatable") == "1";
   return request;
 }
 
 std::string PlaceResponse::encode() const {
-  return encode_fields({{"type", "place_response"},
-                        {"vm", std::to_string(vm_id)},
-                        {"accepted", accepted ? "1" : "0"},
-                        {"host", std::to_string(host_id)},
-                        {"fraction", std::to_string(launch_fraction)}});
+  return encode_envelope("place_response",
+                         {{"vm", std::to_string(vm_id)},
+                          {"accepted", accepted ? "1" : "0"},
+                          {"host", std::to_string(host_id)},
+                          {"fraction", std::to_string(launch_fraction)}});
 }
 
 std::optional<PlaceResponse> PlaceResponse::decode(const std::string& line) {
-  const auto fields = decode_fields(line);
-  if (!has_fields(fields, {"type", "vm", "accepted"}) ||
-      fields.at("type") != "place_response") {
-    return std::nullopt;
-  }
+  const auto fields = decode_envelope("place_response", line);
+  if (!fields || !has_fields(*fields, {"vm", "accepted"})) return std::nullopt;
   PlaceResponse response;
-  response.vm_id = field_u64(fields, "vm");
-  response.accepted = fields.at("accepted") == "1";
-  response.host_id = field_u64(fields, "host");
-  response.launch_fraction = field_double(fields, "fraction", 1.0);
+  response.vm_id = field_u64(*fields, "vm");
+  response.accepted = fields->at("accepted") == "1";
+  response.host_id = field_u64(*fields, "host");
+  response.launch_fraction = field_double(*fields, "fraction", 1.0);
   return response;
 }
 
 std::string DeflateCommand::encode() const {
-  return encode_fields({{"type", "deflate"},
-                        {"vm", std::to_string(vm_id)},
-                        {"target", encode_vector(target)}});
+  return encode_envelope("deflate", {{"vm", std::to_string(vm_id)},
+                                     {"target", encode_vector(target)}});
 }
 
 std::optional<DeflateCommand> DeflateCommand::decode(const std::string& line) {
-  const auto fields = decode_fields(line);
-  if (!has_fields(fields, {"type", "vm", "target"}) ||
-      fields.at("type") != "deflate") {
-    return std::nullopt;
-  }
-  const auto target = decode_vector(fields.at("target"));
+  const auto fields = decode_envelope("deflate", line);
+  if (!fields || !has_fields(*fields, {"vm", "target"})) return std::nullopt;
+  const auto target = decode_vector(fields->at("target"));
   if (!target) return std::nullopt;
   DeflateCommand command;
-  command.vm_id = field_u64(fields, "vm");
+  command.vm_id = field_u64(*fields, "vm");
   command.target = *target;
   return command;
 }
 
 std::string DeflationNotice::encode() const {
-  return encode_fields({{"type", "deflation_notice"},
-                        {"vm", std::to_string(vm_id)},
-                        {"old", encode_vector(old_alloc)},
-                        {"new", encode_vector(new_alloc)}});
+  return encode_envelope("deflation_notice",
+                         {{"vm", std::to_string(vm_id)},
+                          {"old", encode_vector(old_alloc)},
+                          {"new", encode_vector(new_alloc)}});
 }
 
 std::optional<DeflationNotice> DeflationNotice::decode(const std::string& line) {
-  const auto fields = decode_fields(line);
-  if (!has_fields(fields, {"type", "vm", "old", "new"}) ||
-      fields.at("type") != "deflation_notice") {
+  const auto fields = decode_envelope("deflation_notice", line);
+  if (!fields || !has_fields(*fields, {"vm", "old", "new"})) {
     return std::nullopt;
   }
-  const auto old_alloc = decode_vector(fields.at("old"));
-  const auto new_alloc = decode_vector(fields.at("new"));
+  const auto old_alloc = decode_vector(fields->at("old"));
+  const auto new_alloc = decode_vector(fields->at("new"));
   if (!old_alloc || !new_alloc) return std::nullopt;
   DeflationNotice notice;
-  notice.vm_id = field_u64(fields, "vm");
+  notice.vm_id = field_u64(*fields, "vm");
   notice.old_alloc = *old_alloc;
   notice.new_alloc = *new_alloc;
   return notice;
 }
 
 std::string UtilizationReport::encode() const {
-  return encode_fields({{"type", "utilization"},
-                        {"host", std::to_string(host_id)},
-                        {"available", encode_vector(available)},
-                        {"committed", encode_vector(committed)},
-                        {"overcommit", std::to_string(overcommit_ratio)}});
+  return encode_envelope("utilization",
+                         {{"host", std::to_string(host_id)},
+                          {"available", encode_vector(available)},
+                          {"committed", encode_vector(committed)},
+                          {"overcommit", std::to_string(overcommit_ratio)}});
 }
 
 std::optional<UtilizationReport> UtilizationReport::decode(
     const std::string& line) {
-  const auto fields = decode_fields(line);
-  if (!has_fields(fields, {"type", "host", "available", "committed"}) ||
-      fields.at("type") != "utilization") {
+  const auto fields = decode_envelope("utilization", line);
+  if (!fields || !has_fields(*fields, {"host", "available", "committed"})) {
     return std::nullopt;
   }
-  const auto available = decode_vector(fields.at("available"));
-  const auto committed = decode_vector(fields.at("committed"));
+  const auto available = decode_vector(fields->at("available"));
+  const auto committed = decode_vector(fields->at("committed"));
   if (!available || !committed) return std::nullopt;
   UtilizationReport report;
-  report.host_id = field_u64(fields, "host");
+  report.host_id = field_u64(*fields, "host");
   report.available = *available;
   report.committed = *committed;
-  report.overcommit_ratio = field_double(fields, "overcommit");
+  report.overcommit_ratio = field_double(*fields, "overcommit");
   return report;
 }
 

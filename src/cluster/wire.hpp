@@ -21,11 +21,30 @@
 
 namespace deflate::cluster::wire {
 
+/// Protocol version carried by every message envelope (field `v`).
+/// Version 1 envelopes had no version field at all; version 2 added it so
+/// the format can evolve — decode rejects a missing or mismatched tag
+/// instead of guessing. The binary transport codec (src/net/codec.hpp)
+/// versions its frames independently.
+inline constexpr int kWireVersion = 2;
+
 /// key=value&key=value codec used by all messages.
 [[nodiscard]] std::string encode_fields(
     const std::map<std::string, std::string>& fields);
 [[nodiscard]] std::map<std::string, std::string> decode_fields(
     const std::string& line);
+
+/// Builds a message envelope: `fields` plus the `type` tag and the
+/// `v=kWireVersion` version tag every bus message carries.
+[[nodiscard]] std::string encode_envelope(
+    const std::string& type, std::map<std::string, std::string> fields);
+
+/// Decodes an envelope of the given type: returns the field map only when
+/// the line parses, carries `type=<type>` and its version tag matches
+/// kWireVersion exactly (missing or foreign versions are rejected — the
+/// caller must not act on a message from an incompatible peer).
+[[nodiscard]] std::optional<std::map<std::string, std::string>>
+decode_envelope(const std::string& type, const std::string& line);
 
 [[nodiscard]] std::string encode_vector(const res::ResourceVector& v);
 [[nodiscard]] std::optional<res::ResourceVector> decode_vector(

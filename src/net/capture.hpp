@@ -1,0 +1,80 @@
+// Message-log capture and deterministic replay for the admission service.
+//
+// File format:
+//   line 1: a text header in the cluster/wire envelope format
+//           (type=capture_header, v=kWireVersion) carrying the full
+//           ServiceConfig the daemon ran with — doubles as hexfloats so
+//           the replayer rebuilds a bit-identical price trace and fleet;
+//   then:   binary records, each [u32 LE connection id][codec frame].
+//
+// The daemon appends every AdmissionRequest frame it accepts and every
+// AdmissionDecision frame it sends (direct responses and drained deferral
+// resolutions alike), in the global decision order — records are written
+// under the same lock that serializes admission, so file order IS
+// decision order.
+//
+// replay_capture() rebuilds a fresh ServiceCore from the header, feeds
+// the captured requests through per-connection controllers exactly the
+// way the live server did, and verifies the regenerated decision frames
+// are byte-identical to the captured ones — deferral retry ordering,
+// quoted prices, placement host ids and all. A nonzero `mismatches`
+// means the service's decision path is no longer deterministic (or the
+// log was tampered with).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/service.hpp"
+
+namespace deflate::net {
+
+/// Serializes the config into the text header line (without newline).
+[[nodiscard]] std::string encode_capture_header(const ServiceConfig& config);
+/// Rebuilds a config from a header line; nullopt on version/type/field
+/// mismatch. Socket-level fields (port, threads, capture_path) are reset
+/// to defaults — they do not affect decisions.
+[[nodiscard]] std::optional<ServiceConfig> decode_capture_header(
+    const std::string& line);
+
+/// Append-only capture writer. Not thread-safe: the server calls it under
+/// its admission lock (which is what makes file order = decision order).
+class CaptureWriter {
+ public:
+  /// Opens `path` (truncating) and writes the header; `valid()` reports
+  /// whether the file opened.
+  CaptureWriter(const std::string& path, const ServiceConfig& config);
+
+  [[nodiscard]] bool valid() const noexcept { return out_.is_open(); }
+
+  /// Appends one [conn_id][frame] record.
+  void record(std::uint32_t conn_id, const std::vector<std::uint8_t>& frame);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+struct ReplayReport {
+  std::size_t requests = 0;    ///< captured AdmissionRequest records
+  std::size_t decisions = 0;   ///< captured AdmissionDecision records
+  std::size_t mismatches = 0;  ///< decisions the fresh controller disagreed on
+  /// First few mismatch descriptions (for the CLI).
+  std::vector<std::string> details;
+  /// Load-level failure (unreadable file, bad header, corrupt record);
+  /// empty when the log itself was well-formed.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error.empty() && mismatches == 0;
+  }
+};
+
+/// Replays `path` through a fresh ServiceCore; see the header comment.
+[[nodiscard]] ReplayReport replay_capture(const std::string& path);
+
+}  // namespace deflate::net

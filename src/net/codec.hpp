@@ -1,0 +1,138 @@
+// Binary transport codec for the admission service (the deflated daemon).
+//
+// cluster/wire.hpp models the paper's §6 REST boundary as text messages on
+// an in-process bus; this codec is what actually crosses a socket. Every
+// message travels in a versioned, length-prefixed frame:
+//
+//   offset  size  field
+//   0       1     magic (0xDF)
+//   1       1     codec version (kCodecVersion)
+//   2       1     message type (MsgType)
+//   3       4     payload length, little-endian u32 (<= kMaxPayload)
+//   7       len   payload (fixed-width little-endian fields; doubles as
+//                 IEEE-754 bit patterns, so round-trips are bit-exact)
+//
+// The version byte sits in front of the length so an incompatible peer is
+// rejected before its framing is trusted. Decoding is strict: a frame is
+// either complete and exactly consumed (Ok), not yet fully buffered
+// (NeedMore), or rejected (Malformed) — truncated payloads, oversized
+// lengths, unknown types, out-of-range enums and trailing payload bytes
+// all reject without reading out of bounds (fuzzed in
+// tests/test_net_codec.cpp, under ASan/UBSan in CI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cluster/admission.hpp"
+#include "cluster/wire.hpp"
+
+namespace deflate::net {
+
+inline constexpr std::uint8_t kFrameMagic = 0xDF;
+/// Bumped whenever the frame layout or any payload encoding changes.
+inline constexpr std::uint8_t kCodecVersion = 1;
+/// Hard upper bound on payload length; a length field above this is
+/// malformed (it would let a broken peer make us buffer without bound).
+inline constexpr std::uint32_t kMaxPayload = 1u << 20;
+inline constexpr std::size_t kHeaderSize = 7;
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,              ///< server -> client greeting (self-describing)
+  Error = 2,              ///< either direction: request-level failure
+  Shutdown = 3,           ///< client -> server: stop serving
+  Bye = 4,                ///< server -> client: shutdown acknowledged
+  AdmissionRequest = 5,   ///< client -> server: Admission API v2 request
+  AdmissionDecision = 6,  ///< server -> client: decision (direct or drained)
+  PlaceRequest = 7,       ///< client -> server: raw placement (no admission)
+  PlaceResponse = 8,
+  DeflateCommand = 9,
+  DeflationNotice = 10,
+  UtilizationReport = 11,
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType type) noexcept;
+
+/// First frame on every connection, server -> client: who is serving, and
+/// which admission policies its registry carries (self-description — a
+/// client can pick a policy by name without out-of-band docs).
+struct Hello {
+  std::uint8_t codec_version = kCodecVersion;
+  std::string server;                 ///< free-form banner
+  std::string admission_policy;       ///< policy this server decides with
+  std::vector<std::string> policies;  ///< all registered policy names
+};
+
+struct ErrorMsg {
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+struct Shutdown {};
+struct Bye {};
+
+/// Admission API v2 request with a client-assigned correlation id; the
+/// matching AdmissionDecisionMsg echoes the id (responses are pipelined,
+/// and drained deferral resolutions arrive out of request order).
+struct AdmissionRequestMsg {
+  std::uint64_t request_id = 0;
+  cluster::AdmissionRequest request;
+};
+
+struct AdmissionDecisionMsg {
+  std::uint64_t request_id = 0;
+  cluster::AdmissionDecision decision;
+};
+
+using Message =
+    std::variant<Hello, ErrorMsg, Shutdown, Bye, AdmissionRequestMsg,
+                 AdmissionDecisionMsg, cluster::wire::PlaceRequest,
+                 cluster::wire::PlaceResponse, cluster::wire::DeflateCommand,
+                 cluster::wire::DeflationNotice,
+                 cluster::wire::UtilizationReport>;
+
+[[nodiscard]] MsgType message_type(const Message& message) noexcept;
+
+/// Encodes one complete frame (header + payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Message& message);
+
+enum class DecodeStatus { Ok, NeedMore, Malformed };
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::NeedMore;
+  /// Bytes consumed from the input: the full frame on Ok, 0 otherwise.
+  std::size_t consumed = 0;
+  Message message;    ///< valid only when status == Ok
+  std::string error;  ///< set only when status == Malformed
+};
+
+/// Decodes the frame starting at `data`. Never reads past `data + size`.
+[[nodiscard]] DecodeResult decode_frame(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// Incremental frame extraction over a byte stream (socket reads land in
+/// arbitrary chunks). A malformed frame poisons the buffer: framing can
+/// not be resynchronized after a corrupt length field, so the connection
+/// must be dropped.
+class FrameBuffer {
+ public:
+  void append(const std::uint8_t* data, std::size_t size);
+
+  /// Extracts the next complete frame; NeedMore when the buffer holds only
+  /// a partial frame (or was poisoned — `poisoned()` disambiguates).
+  [[nodiscard]] DecodeResult next();
+
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - offset_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t offset_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace deflate::net

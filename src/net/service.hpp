@@ -1,0 +1,97 @@
+// Shared substance of the admission service: the configuration a
+// deflated daemon runs with, and the state both the live server
+// (server.hpp) and the capture replayer (capture.hpp) build from it —
+// spot-price trace, price feed, cluster manager, per-connection admission
+// controllers and the global service clock.
+//
+// The replayer reconstructs a ServiceCore from the capture file's header
+// and must end up with *bit-identical* behavior (same trace, same
+// manager routing, same policy), so everything behavioral lives in
+// ServiceConfig and nothing in ambient state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/admission.hpp"
+#include "cluster/sharded_manager.hpp"
+#include "transient/spot_price.hpp"
+
+namespace deflate::net {
+
+struct ServiceConfig {
+  /// Listen port; 0 = kernel-assigned ephemeral port (tests, CI).
+  std::uint16_t port = 0;
+  /// Connection-handler pool size.
+  std::size_t worker_threads = 4;
+
+  // Fleet.
+  std::size_t server_count = 40;
+  std::size_t shard_count = 1;
+  cluster::ShardSelectionPolicy shard_policy =
+      cluster::ShardSelectionPolicy::PowerOfTwoChoices;
+  std::uint64_t routing_seed = 42;
+
+  // Admission.
+  /// Registry name (net/registry.hpp): admit-all, price, bid-opt, or a
+  /// plugin-registered policy.
+  std::string admission_policy = "admit-all";
+  /// Ceilings / deferral window; the `policy` kind inside is ignored —
+  /// `admission_policy` picks the registry entry.
+  cluster::AdmissionConfig admission;
+
+  // Market. price_trace_hours > 0 attaches a single-market OU spot trace
+  /// (deterministic in `spot` + `price_seed`) to the price feed; 0 runs
+  /// feed-less (price policies degrade to admit-all).
+  double on_demand_price = 1.0;
+  double price_trace_hours = 0.0;
+  std::uint64_t price_seed = 42;
+  transient::SpotPriceConfig spot;
+
+  /// Append every AdmissionRequest/AdmissionDecision to this message log
+  /// (capture.hpp format); empty = no capture.
+  std::string capture_path;
+
+  /// Free-form server banner carried in the Hello frame.
+  std::string banner = "deflated/0.1";
+};
+
+/// The deterministic heart of the service, shared by server and replayer.
+/// Thread-compatible: the server serializes access with its own mutex.
+class ServiceCore {
+ public:
+  /// Builds trace, feed and manager. Throws std::invalid_argument when
+  /// the config names an unknown admission policy.
+  explicit ServiceCore(const ServiceConfig& config);
+
+  /// A fresh controller for one connection, built by the registry entry
+  /// the config names. Controllers share the manager and feed; the
+  /// deferral queue is per-connection, so drained resolutions always
+  /// belong to the connection being served.
+  [[nodiscard]] std::unique_ptr<cluster::AdmissionController>
+  make_controller();
+
+  /// Advances the global service clock to `arrival` (monotonic: never
+  /// moves backwards) and returns the new now.
+  sim::SimTime advance_clock(sim::SimTime arrival) noexcept;
+
+  [[nodiscard]] cluster::ClusterManagerBase& manager() noexcept {
+    return *manager_;
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] sim::SimTime clock() const noexcept { return clock_; }
+
+ private:
+  ServiceConfig config_;
+  /// Backing storage for the feed (PriceFeed holds raw pointers).
+  std::vector<transient::PriceTrace> traces_;
+  cluster::PriceFeed feed_;
+  std::unique_ptr<cluster::ClusterManagerBase> manager_;
+  sim::SimTime clock_;
+};
+
+}  // namespace deflate::net

@@ -341,6 +341,20 @@ void TraceDrivenSimulator::on_vm_end(std::size_t idx) {
   manager_->remove_vm(vm.record->id);
 }
 
+void TraceDrivenSimulator::publish_utilization() {
+  if (config_.telemetry_bus == nullptr) return;
+  for (std::size_t s = 0; s < manager_->server_count(); ++s) {
+    if (!manager_->server_active(s)) continue;
+    const hv::Host& host = manager_->host(s);
+    cluster::wire::UtilizationReport report;
+    report.host_id = s;
+    report.available = host.available();
+    report.committed = host.committed();
+    report.overcommit_ratio = host.overcommit_ratio();
+    config_.telemetry_bus->publish(kUtilizationTopic, report.encode());
+  }
+}
+
 SimMetrics TraceDrivenSimulator::run() {
   if (ran_) {
     throw std::logic_error("TraceDrivenSimulator::run is single-shot");
@@ -491,8 +505,13 @@ SimMetrics TraceDrivenSimulator::run() {
     const Event& event = events[next_event++];
     // Batched view maintenance: dirty views/aggregates accumulated by the
     // events of one simulated tick are flushed once at the tick boundary
-    // instead of once per event (placement stays exact either way).
-    if (event.at != now_) manager_->flush_views();
+    // instead of once per event (placement stays exact either way). The
+    // telemetry bus reports on the same cadence: one UtilizationReport per
+    // active server per tick, from the freshly flushed state.
+    if (event.at != now_) {
+      manager_->flush_views();
+      publish_utilization();
+    }
     now_ = event.at;
     switch (event.kind) {
       case Event::Kind::VmStart: on_vm_start(event.idx); break;

@@ -25,10 +25,15 @@
 #include "cluster/migration.hpp"
 #include "cluster/pricing.hpp"
 #include "cluster/sharded_manager.hpp"
+#include "cluster/wire.hpp"
 #include "trace/vm_record.hpp"
 #include "transient/market.hpp"
 
 namespace deflate::simcluster {
+
+/// Bus topic the per-tick per-server UtilizationReports are published on
+/// (SimConfig::telemetry_bus).
+inline constexpr const char* kUtilizationTopic = "utilization";
 
 struct SimConfig {
   core::PolicyKind policy = core::PolicyKind::Proportional;
@@ -71,6 +76,16 @@ struct SimConfig {
   /// (`CapacityPlan::class_ceilings`); without a market plan the
   /// price-aware policies degrade to AdmitAll.
   cluster::AdmissionConfig admission;
+
+  // --- wire telemetry (src/cluster/wire) ---
+  /// When set, the simulator stands in for the per-server controllers of
+  /// the paper's §6 REST boundary: at every tick boundary (the same
+  /// cadence as flush_views) it publishes one versioned, encoded
+  /// `UtilizationReport` per active server on topic
+  /// `kUtilizationTopic` — "each server updates the central master about
+  /// all changes in server utilization". Null (default) publishes
+  /// nothing and costs nothing. Non-owning; must outlive run().
+  cluster::wire::MessageBus* telemetry_bus = nullptr;
 
   // --- timed migration (src/cluster/migration) ---
   /// With `migration.model.bandwidth_mib_per_sec > 0` (and a deflation-mode
@@ -213,6 +228,12 @@ class TraceDrivenSimulator {
   /// Charges the full usage series of a VM that never ran (expired
   /// deferral) as lost throughput.
   void charge_never_served(const VmRuntime& vm);
+
+  // --- wire telemetry plumbing -----------------------------------------------
+  /// Publishes one encoded UtilizationReport per active server on
+  /// `config_.telemetry_bus` (no-op when the bus is null). Called at every
+  /// tick boundary, right after flush_views.
+  void publish_utilization();
 
   // --- timed migration plumbing ---------------------------------------------
   /// Timed revocations are in effect: a deflation-mode market with a

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "simcluster/cluster_sim.hpp"
+#include "trace/azure.hpp"
+
 namespace wire = deflate::cluster::wire;
 namespace res = deflate::res;
 
@@ -86,6 +89,36 @@ TEST(WireMessages, UtilizationReportRoundTrip) {
   EXPECT_NEAR(decoded->overcommit_ratio, 1.25, 1e-9);
 }
 
+TEST(WireMessages, EnvelopeCarriesVersionTag) {
+  wire::PlaceRequest request;
+  request.vm_id = 3;
+  const std::string line = request.encode();
+  const auto fields = wire::decode_fields(line);
+  ASSERT_TRUE(fields.count("v"));
+  EXPECT_EQ(fields.at("v"), std::to_string(wire::kWireVersion));
+}
+
+TEST(WireMessages, WrongOrMissingVersionRejected) {
+  wire::UtilizationReport report;
+  report.host_id = 4;
+  report.available = {1.0, 2.0, 3.0, 4.0};
+  report.committed = {5.0, 6.0, 7.0, 8.0};
+  auto fields = wire::decode_fields(report.encode());
+
+  // Foreign (future) version: the receiver must not guess at the format.
+  fields["v"] = std::to_string(wire::kWireVersion + 1);
+  EXPECT_FALSE(
+      wire::UtilizationReport::decode(wire::encode_fields(fields)).has_value());
+
+  // Version-less (pre-versioning) envelope: equally rejected.
+  fields.erase("v");
+  EXPECT_FALSE(
+      wire::UtilizationReport::decode(wire::encode_fields(fields)).has_value());
+
+  // Intact envelope still decodes (control).
+  EXPECT_TRUE(wire::UtilizationReport::decode(report.encode()).has_value());
+}
+
 TEST(WireMessages, CrossTypeDecodeFails) {
   wire::PlaceRequest request;
   request.vm_id = 1;
@@ -115,6 +148,41 @@ TEST(MessageBus, TopicsAreIsolated) {
   EXPECT_EQ(other, 0);
   EXPECT_EQ(bus.publish("unknown-topic", "m"), 0U);
   EXPECT_EQ(bus.messages_published(), 2U);
+}
+
+TEST(MessageBus, SimPublishesPerServerUtilizationReports) {
+  // The sim loop stands in for the paper's per-server controllers: every
+  // tick boundary publishes one versioned UtilizationReport per active
+  // server, giving the wire codec real traffic to serialize.
+  deflate::trace::AzureTraceConfig trace_config;
+  trace_config.vm_count = 30;
+  trace_config.duration = deflate::sim::SimTime::from_hours(6);
+  trace_config.seed = 7;
+  const auto records =
+      deflate::trace::AzureTraceGenerator(trace_config).generate();
+
+  wire::MessageBus bus;
+  std::uint64_t reports = 0;
+  std::uint64_t max_host = 0;
+  bus.subscribe(deflate::simcluster::kUtilizationTopic,
+                [&](const std::string& line) {
+                  const auto report = wire::UtilizationReport::decode(line);
+                  ASSERT_TRUE(report.has_value()) << line;
+                  max_host = std::max(max_host, report->host_id);
+                  ++reports;
+                });
+
+  deflate::simcluster::SimConfig config;
+  config.server_count = 8;
+  config.telemetry_bus = &bus;
+  deflate::simcluster::TraceDrivenSimulator simulator(records, config);
+  const auto metrics = simulator.run();
+
+  EXPECT_GT(metrics.vm_count, 0U);
+  // Multiple ticks, each reporting every active server.
+  EXPECT_GE(reports, 2U * config.server_count);
+  EXPECT_LT(max_host, config.server_count);
+  EXPECT_EQ(bus.messages_published(), reports);
 }
 
 TEST(MessageBus, EndToEndPlacementConversation) {

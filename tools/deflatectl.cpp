@@ -19,6 +19,14 @@
 //               [--migration-strategy migrate|deflate|hybrid]
 //               [--admission admit-all|price|bid-opt] [--price-ceiling C]
 //               [--defer-hours H] [--bid-opt]
+//   deflatectl connect --port P [--vms N] [--batch B] [--hours H]
+//               [--seed S] [--shutdown]
+//   deflatectl replay --capture FILE
+//
+// `connect` drives a running deflated daemon (tools/deflated.cpp) through
+// the batching client (src/net/client.hpp) and prints the decision
+// breakdown; `replay` re-runs a captured admission session
+// (src/net/capture.hpp) and fails on any decision divergence.
 //
 // --shards > 1 runs the fleet through the sharded cluster manager
 // (src/cluster/sharded_manager.hpp); 1 (default) is the flat manager.
@@ -61,10 +69,13 @@
 #include <vector>
 
 #include "analysis/feasibility.hpp"
+#include "net/capture.hpp"
+#include "net/client.hpp"
 #include "simcluster/cluster_sim.hpp"
 #include "trace/azure.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -93,7 +104,10 @@ int usage() {
       "             [--migration-dirty-rate MiB/s] [--migration-contention]\n"
       "             [--migration-strategy migrate|deflate|hybrid]\n"
       "             [--admission admit-all|price|bid-opt] [--price-ceiling C]\n"
-      "             [--defer-hours H] [--bid-opt]\n";
+      "             [--defer-hours H] [--bid-opt]\n"
+      "  deflatectl connect --port P [--vms N] [--batch B] [--hours H]\n"
+      "             [--seed S] [--shutdown]\n"
+      "  deflatectl replay --capture FILE\n";
   return 1;
 }
 
@@ -571,6 +585,121 @@ int cmd_feasibility(const CliArgs& args) {
   return 0;
 }
 
+// --- connect / replay: the service layer (src/net/) ------------------------
+
+// Drives a running deflated daemon through the batching client: submits
+// --vms synthetic admission requests in batches of --batch, arrivals
+// spread over --hours, then prints the decision breakdown (the CI smoke
+// job greps for a nonzero `placed`). --shutdown sends the Shutdown frame
+// afterwards, stopping the daemon.
+int cmd_connect(const CliArgs& args) {
+  CliValidator validator(args);
+  validator
+      .allow_only({"port", "vms", "batch", "hours", "seed", "shutdown"})
+      .require_in_range("port", 1, 65535)
+      .require_integer_at_least("vms", 1)
+      .require_integer_at_least("batch", 1)
+      .require_at_least("hours", 0);
+  if (report_errors(validator)) return 1;
+  if (!args.has("port")) return flag_error("connect requires --port");
+
+  const auto port = static_cast<std::uint16_t>(args.get_double("port", 0));
+  const auto vms = static_cast<std::size_t>(args.get_double("vms", 200));
+  const auto batch = static_cast<std::size_t>(args.get_double("batch", 32));
+  const double hours = args.get_double("hours", 2.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_double("seed", 1));
+
+  auto client = net::Client::connect(port);
+  if (!client.has_value()) {
+    std::cerr << "error: cannot connect to 127.0.0.1:" << port << "\n";
+    return 2;
+  }
+  std::cout << "connected: " << client->hello().server
+            << " (admission=" << client->hello().admission_policy << ")\n";
+
+  util::Rng rng(seed);
+  std::size_t in_batch = 0;
+  for (std::size_t i = 0; i < vms; ++i) {
+    hv::VmSpec spec;
+    spec.id = i + 1;
+    spec.name = "req-" + std::to_string(i + 1);
+    spec.vcpus = static_cast<int>(rng.uniform_int(1, 8));
+    spec.memory_mib = spec.vcpus * 2048.0;
+    spec.priority = rng.uniform(0.1, 1.0);
+    spec.deflatable = rng.bernoulli(0.75);
+    const auto arrival =
+        sim::SimTime::from_hours(hours * static_cast<double>(i) /
+                                 static_cast<double>(vms));
+    client->submit(cluster::AdmissionRequest::from_spec(spec, arrival));
+    if (++in_batch == batch) {
+      if (!client->flush()) {
+        std::cerr << "error: connection failed mid-batch\n";
+        return 2;
+      }
+      in_batch = 0;
+    }
+  }
+  if (!client->flush()) {
+    std::cerr << "error: connection failed on the final batch\n";
+    return 2;
+  }
+
+  std::size_t placed = 0, deflated = 0, deferred = 0, rejected = 0;
+  for (const auto& [id, decision] : client->decisions()) {
+    switch (decision.status) {
+      case cluster::AdmissionDecision::Status::Placed: ++placed; break;
+      case cluster::AdmissionDecision::Status::PlacedDeflated:
+        ++deflated;
+        break;
+      case cluster::AdmissionDecision::Status::Deferred: ++deferred; break;
+      case cluster::AdmissionDecision::Status::Rejected: ++rejected; break;
+    }
+  }
+  std::cout << "requests " << vms << "\n"
+            << "placed " << placed << "\n"
+            << "placed-deflated " << deflated << "\n"
+            << "deferred " << deferred << "\n"
+            << "rejected " << rejected << "\n"
+            << "deferral-resolutions " << client->resolved_deferrals().size()
+            << "\n";
+
+  if (args.has("shutdown")) {
+    if (!client->shutdown_server()) {
+      std::cerr << "error: server did not acknowledge shutdown\n";
+      return 2;
+    }
+    std::cout << "server shut down\n";
+  }
+  return 0;
+}
+
+// Replays a captured admission session (deflated --capture) through a
+// fresh controller stack and verifies the regenerated decisions are
+// byte-identical. Exit 1 on any divergence.
+int cmd_replay(const CliArgs& args) {
+  CliValidator validator(args);
+  validator.allow_only({"capture"});
+  if (report_errors(validator)) return 1;
+  const std::string path = args.get("capture", "");
+  if (path.empty()) return flag_error("replay requires --capture FILE");
+
+  const net::ReplayReport report = net::replay_capture(path);
+  if (!report.error.empty()) {
+    std::cerr << "error: " << report.error << "\n";
+    return 2;
+  }
+  std::cout << "requests " << report.requests << "\n"
+            << "decisions " << report.decisions << "\n"
+            << "mismatches " << report.mismatches << "\n";
+  for (const auto& detail : report.details) {
+    std::cout << "  " << detail << "\n";
+  }
+  std::cout << (report.ok() ? "replay OK: decisions are bit-identical"
+                            : "replay FAILED")
+            << "\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -585,6 +714,8 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(args);
     if (command == "feasibility") return cmd_feasibility(args);
     if (command == "revoke-sim") return cmd_revoke_sim(args);
+    if (command == "connect") return cmd_connect(args);
+    if (command == "replay") return cmd_replay(args);
     return usage();
   } catch (const std::invalid_argument& error) {
     // Malformed flag values are usage errors, not runtime failures.
