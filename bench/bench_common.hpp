@@ -7,6 +7,7 @@
 
 #include "trace/alibaba.hpp"
 #include "trace/azure.hpp"
+#include "util/profiler.hpp"
 #include "util/table.hpp"
 
 namespace deflate::bench {
@@ -58,6 +59,14 @@ inline std::vector<trace::VmRecord> cluster_trace() {
 inline void print_header(const std::string& figure, const std::string& claim) {
   std::cout << "==== " << figure << " ====\n";
   std::cout << "paper: " << claim << "\n\n";
+}
+
+/// Prints the scoped-profiler phase breakdown accumulated so far (silent
+/// when no instrumented phase ran). Benches call this at exit — or between
+/// configurations, paired with util::Profiler::instance().reset(), to get
+/// per-configuration breakdowns.
+inline void print_profile() {
+  util::Profiler::instance().report(std::cout);
 }
 
 }  // namespace deflate::bench

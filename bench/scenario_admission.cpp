@@ -189,5 +189,6 @@ int main() {
             << (multi_ok ? "no worse (within 0.5%)"
                          : "UNDERPERFORMS — REGRESSION")
             << "\n";
+  bench::print_profile();
   return price_ok && bid_ok && multi_ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -149,5 +149,6 @@ int main() {
             << hybrid.checkpoint_kills << " kills vs deflation's "
             << deflation.checkpoint_kills
             << (hybrid_ok ? "" : " — REGRESSION") << "\n";
+  bench::print_profile();
   return sentinel_ok && deflation_ok && hybrid_ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -166,5 +166,6 @@ int main() {
             << "; portfolio split "
             << (portfolio_ok ? "lower variance, mean held" : "NO IMPROVEMENT")
             << "\n";
+  bench::print_profile();
   return parity && fixed_ok && portfolio_ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -73,5 +73,6 @@ int main() {
                    util::format_double(m.cost.saving_percent(), 1)});
   }
   table.print(std::cout);
+  bench::print_profile();
   return 0;
 }

@@ -213,5 +213,6 @@ int main() {
   }
   std::cout << (ok ? "\nall service gates passed\n"
                    : "\nservice gates FAILED\n");
+  bench::print_profile();
   return ok ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include "mechanisms/mechanism.hpp"
 #include "util/logging.hpp"
+#include "util/profiler.hpp"
 
 namespace deflate::cluster {
 
@@ -20,15 +21,21 @@ ClusterManager::ClusterManager(ClusterConfig config)
                       : ClusterPartitions::single_pool(config_.server_count)) {
   std::shared_ptr<mech::DeflationMechanism> mechanism =
       mech::make_mechanism(config_.mechanism);
+  if (config_.scan_pool != nullptr) {
+    pool_ = config_.scan_pool;
+  } else if (config_.worker_threads > 1) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
+    pool_ = owned_pool_.get();
+  }
   nodes_.reserve(config_.server_count);
   view_dirty_.assign(config_.server_count, 0);
   dirty_queue_.reserve(config_.server_count);
+  scan_.capacity = config_.server_capacity;
+  scan_.resize(config_.server_count);
   for (std::size_t i = 0; i < config_.server_count; ++i) {
     auto node = std::make_unique<ServerNode>(i, config_);
     node->controller = std::make_unique<core::LocalDeflationController>(
         node->hypervisor, policy_, mechanism);
-    node->view.host_id = i;
-    node->view.capacity = config_.server_capacity;
     nodes_.push_back(std::move(node));
     refresh_view(i);
   }
@@ -41,9 +48,25 @@ void ClusterManager::mark_view_dirty(std::size_t server) {
 }
 
 void ClusterManager::flush_views() {
-  for (const std::size_t server : dirty_queue_) {
-    view_dirty_[server] = 0;
-    refresh_view(server);
+  DEFLATE_PROFILE_SCOPE("cluster.flush_views");
+  // Each queued server touches only its own table row (the queue is
+  // deduped), so the drain parallelizes without synchronization and the
+  // resulting columns are identical for any thread count.
+  constexpr std::size_t kMinParallelDrain = 256;
+  if (pool_ != nullptr && dirty_queue_.size() >= kMinParallelDrain) {
+    util::parallel_for(pool_, dirty_queue_.size(),
+                       [this](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const std::size_t server = dirty_queue_[i];
+                           view_dirty_[server] = 0;
+                           refresh_view(server);
+                         }
+                       });
+  } else {
+    for (const std::size_t server : dirty_queue_) {
+      view_dirty_[server] = 0;
+      refresh_view(server);
+    }
   }
   dirty_queue_.clear();
 }
@@ -51,10 +74,10 @@ void ClusterManager::flush_views() {
 FleetAggregate ClusterManager::aggregate_free() {
   flush_views();
   FleetAggregate aggregate;
-  for (const auto& node : nodes_) {
-    if (!node->active) continue;
-    aggregate.available += node->view.available;
-    aggregate.deflatable += node->view.deflatable;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->active) continue;
+    aggregate.available += scan_.available_of(i);
+    aggregate.deflatable += scan_.deflatable_of(i);
     ++aggregate.active_servers;
   }
   return aggregate;
@@ -63,11 +86,17 @@ FleetAggregate ClusterManager::aggregate_free() {
 void ClusterManager::refresh_view(std::size_t server) {
   ServerNode& node = *nodes_[server];
   const hv::Host& host = node.hypervisor.host();
-  node.view.available = host.available();
-  node.view.deflatable = config_.mode == ReclamationMode::Deflation
-                             ? node.controller->reclaimable_headroom()
-                             : res::ResourceVector{};
-  node.view.overcommit_ratio = host.overcommit_ratio();
+  scan_.set_available(server, host.available());
+  scan_.set_deflatable(server,
+                       config_.mode == ReclamationMode::Deflation
+                           ? node.controller->reclaimable_headroom()
+                           : res::ResourceVector{});
+  scan_.overcommit[server] = host.overcommit_ratio();
+}
+
+void ClusterManager::update_eligible(std::size_t server) {
+  const ServerNode& node = *nodes_[server];
+  scan_.eligible[server] = node.active && node.accepting ? 1 : 0;
 }
 
 std::vector<std::size_t> ClusterManager::candidate_servers(
@@ -81,12 +110,6 @@ std::vector<std::size_t> ClusterManager::candidate_servers(
     if (nodes_[idx]->active && nodes_[idx]->accepting) candidates.push_back(idx);
   }
   return candidates;
-}
-
-bool ClusterManager::view_feasible(const HostView& view,
-                                   const res::ResourceVector& demand) const {
-  const res::ResourceVector need = (demand - view.available).clamped_nonneg();
-  return need.all_leq(view.deflatable, 1e-9);
 }
 
 double ClusterManager::min_launch_fraction(const hv::VmSpec& spec) const {
@@ -153,7 +176,7 @@ PlacementResult ClusterManager::place_with_preemption(
   std::vector<HostView> views;
   views.reserve(candidates.size());
   for (const std::size_t idx : candidates) {
-    HostView view = nodes_[idx]->view;
+    HostView view = scan_.view_of(idx);
     res::ResourceVector preemptable;
     if (!spec.deflatable) {  // only on-demand VMs may evict others
       for (const hv::Vm* vm : nodes_[idx]->hypervisor.host().vms()) {
@@ -204,41 +227,40 @@ PlacementResult ClusterManager::place_with_preemption(
 }
 
 PlacementResult ClusterManager::place_vm(const hv::VmSpec& spec) {
+  DEFLATE_PROFILE_SCOPE("cluster.place");
   // Views are maintained lazily; bring the dirty ones up to date so every
   // feasibility decision below sees exact state (same decisions as the old
   // eager per-mutation rescan, minus the redundant rescans in between).
   flush_views();
-  const std::vector<std::size_t> candidates = candidate_servers(spec);
   if (config_.mode == ReclamationMode::Preemption) {
-    return place_with_preemption(spec, candidates);
+    return place_with_preemption(spec, candidate_servers(spec));
   }
+
+  // The deflation path scans the whole partition pool through the SoA
+  // table (ineligible servers are masked by the eligibility column), so
+  // there is no per-placement candidate vector to build.
+  const std::size_t pool_index =
+      config_.partitioned ? pool_for_priority(spec.deflatable, spec.priority,
+                                              partitions_.pool_count())
+                          : 0;
+  const std::vector<std::size_t>& pool_candidates =
+      partitions_.pool(pool_index);
 
   const res::ResourceVector full_demand = spec.vector();
   auto try_fraction = [&](double fraction) -> std::optional<std::size_t> {
     const res::ResourceVector demand = full_demand * fraction;
-    std::vector<HostView> views;
-    views.reserve(candidates.size());
-    for (const std::size_t idx : candidates) {
-      views.push_back(nodes_[idx]->view);
-    }
     // Deflation is a *pressure* response (§5): while surplus capacity
     // exists somewhere, place without deflating anyone. Only when no
     // server fits the demand in free capacity does the reclamation path
     // rank servers by their deflatable headroom.
-    for (auto& view : views) {
-      view.feasible = demand.all_leq(view.available, 1e-9);
+    if (const auto server = scan_pick_host(
+            config_.placement, demand, scan_, pool_candidates,
+            ScanFeasibility::FreeCapacity, /*under_pressure=*/false, pool_)) {
+      return server;
     }
-    if (const auto best = pick_host(config_.placement, demand, views)) {
-      return candidates[*best];
-    }
-    for (auto& view : views) {
-      view.feasible = view_feasible(view, demand);
-    }
-    if (const auto best = pick_host(config_.placement, demand, views,
-                                    /*under_pressure=*/true)) {
-      return candidates[*best];
-    }
-    return std::nullopt;
+    return scan_pick_host(config_.placement, demand, scan_, pool_candidates,
+                          ScanFeasibility::WithDeflation,
+                          /*under_pressure=*/true, pool_);
   };
 
   if (const auto server = try_fraction(1.0)) {
@@ -276,6 +298,7 @@ std::optional<std::vector<hv::VmSpec>> ClusterManager::take_server_offline(
   if (!node.active) return std::nullopt;
   node.active = false;
   node.accepting = true;  // clear any drain; the server is gone either way
+  update_eligible(server);
   ++stats_.revocations;
 
   std::vector<hv::VmSpec> residents;
@@ -292,6 +315,7 @@ std::optional<std::vector<hv::VmSpec>> ClusterManager::take_server_offline(
 }
 
 RevocationOutcome ClusterManager::revoke_server(std::size_t server) {
+  DEFLATE_PROFILE_SCOPE("cluster.revoke");
   RevocationOutcome outcome;
   const std::optional<std::vector<hv::VmSpec>> residents =
       take_server_offline(server);
@@ -330,16 +354,19 @@ void ClusterManager::restore_server(std::size_t server) {
     // warning): restoring a still-active server just reopens it for
     // placements, without counting a restoration.
     node.accepting = true;
+    update_eligible(server);
     return;
   }
   node.active = true;
   node.accepting = true;
+  update_eligible(server);
   ++stats_.restorations;
   mark_view_dirty(server);
 }
 
 void ClusterManager::drain_server(std::size_t server) {
   nodes_.at(server)->accepting = false;
+  update_eligible(server);
 }
 
 std::size_t ClusterManager::active_server_count() const {

@@ -22,6 +22,7 @@
 #include "cluster/placement.hpp"
 #include "core/local_controller.hpp"
 #include "core/policy.hpp"
+#include "util/thread_pool.hpp"
 
 namespace deflate::cluster {
 
@@ -48,6 +49,13 @@ struct ClusterConfig {
   std::vector<double> pool_weights{0.5, 0.125, 0.125, 0.125, 0.125};
   /// Granularity of deflated-launch attempts (fraction steps).
   double deflated_launch_step = 0.05;
+  /// Worker threads for the placement scan and dirty-view drains. 0 or 1 =
+  /// serial. Ignored when `scan_pool` is set. Thread count never changes
+  /// decisions — the scan reduction is order-independent — only speed.
+  std::size_t worker_threads = 0;
+  /// Non-owning pool override: the sharded scheduler points every shard at
+  /// one shared pool instead of letting each shard spawn its own workers.
+  util::ThreadPool* scan_pool = nullptr;
 };
 
 struct PlacementResult {
@@ -267,7 +275,6 @@ class ClusterManager : public ClusterManagerBase {
     explicit ServerNode(std::uint64_t id, const ClusterConfig& config);
     hv::SimHypervisor hypervisor;
     std::unique_ptr<core::LocalDeflationController> controller;
-    HostView view;
     bool active = true;  ///< false while revoked by the transient market
     /// false while draining ahead of an announced revocation: residents
     /// keep running but no new placements land here.
@@ -278,11 +285,10 @@ class ClusterManager : public ClusterManagerBase {
   /// Queues `server` for a view rescan at the next flush (dedups repeated
   /// mutations of the same server between placements).
   void mark_view_dirty(std::size_t server);
+  /// Mirrors active && accepting into the scan table's eligibility column.
+  void update_eligible(std::size_t server);
   [[nodiscard]] std::vector<std::size_t> candidate_servers(
       const hv::VmSpec& spec) const;
-  /// Feasibility from cached views (exact between mutations).
-  [[nodiscard]] bool view_feasible(const HostView& view,
-                                   const res::ResourceVector& demand) const;
   PlacementResult admit(const hv::VmSpec& spec, std::size_t server,
                         double fraction);
   PlacementResult place_with_preemption(const hv::VmSpec& spec,
@@ -296,6 +302,11 @@ class ClusterManager : public ClusterManagerBase {
   std::vector<std::unique_ptr<ServerNode>> nodes_;
   ClusterPartitions partitions_;
   std::unordered_map<std::uint64_t, std::size_t> vm_locations_;
+  /// SoA per-server scan state: the placement loops and deflation sweeps
+  /// read these dense columns instead of chasing per-node structs.
+  HostScanTable scan_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;  ///< scan/drain pool (nullptr = serial)
   std::vector<std::uint8_t> view_dirty_;   ///< per-server dirty flag
   std::vector<std::size_t> dirty_queue_;   ///< servers awaiting a rescan
   ClusterStats stats_;

@@ -1,8 +1,26 @@
 #include "cluster/placement.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace deflate::cluster {
+
+namespace {
+
+/// Capacity-normalized leftover mass after placing the demand; the
+/// BestFit/WorstFit score. Shared by pick_host and scan_pick_host so the
+/// two paths can never drift apart.
+double leftover_score(const res::ResourceVector& demand, const HostView& host) {
+  res::ResourceVector leftover_n;
+  const res::ResourceVector availability = availability_vector(host);
+  for (const res::Resource r : res::all_resources) {
+    if (host.capacity[r] <= 0.0) continue;
+    leftover_n[r] = (availability[r] - demand[r]) / host.capacity[r];
+  }
+  return leftover_n.clamped_nonneg().norm();
+}
+
+}  // namespace
 
 res::ResourceVector availability_vector(const HostView& host) {
   // §5.2: A_j = Total - Used + deflatable_j / overcommitted_j. A server at
@@ -78,14 +96,7 @@ std::optional<std::size_t> pick_host(PlacementStrategy strategy,
       if (!best || hosts[i].host_id < hosts[*best].host_id) best = i;
       continue;
     }
-    // Leftover mass after placing the demand, capacity-normalized.
-    res::ResourceVector leftover_n;
-    const res::ResourceVector availability = availability_vector(hosts[i]);
-    for (const res::Resource r : res::all_resources) {
-      if (hosts[i].capacity[r] <= 0.0) continue;
-      leftover_n[r] = (availability[r] - demand[r]) / hosts[i].capacity[r];
-    }
-    const double leftover = leftover_n.clamped_nonneg().norm();
+    const double leftover = leftover_score(demand, hosts[i]);
     const bool better = strategy == PlacementStrategy::BestFit
                             ? (!best || leftover < best_score)
                             : (!best || leftover > best_score);
@@ -95,6 +106,141 @@ std::optional<std::size_t> pick_host(PlacementStrategy strategy,
     }
   }
   return best;
+}
+
+// --- SoA scan table ---------------------------------------------------------
+
+void HostScanTable::resize(std::size_t servers) {
+  for (auto& column : available) column.assign(servers, 0.0);
+  for (auto& column : deflatable) column.assign(servers, 0.0);
+  overcommit.assign(servers, 0.0);
+  eligible.assign(servers, 1);
+}
+
+void HostScanTable::set_available(std::size_t i,
+                                  const res::ResourceVector& v) noexcept {
+  for (std::size_t r = 0; r < res::kNumResources; ++r) {
+    available[r][i] = v[static_cast<res::Resource>(r)];
+  }
+}
+
+void HostScanTable::set_deflatable(std::size_t i,
+                                   const res::ResourceVector& v) noexcept {
+  for (std::size_t r = 0; r < res::kNumResources; ++r) {
+    deflatable[r][i] = v[static_cast<res::Resource>(r)];
+  }
+}
+
+res::ResourceVector HostScanTable::available_of(std::size_t i) const noexcept {
+  return {available[0][i], available[1][i], available[2][i], available[3][i]};
+}
+
+res::ResourceVector HostScanTable::deflatable_of(std::size_t i) const noexcept {
+  return {deflatable[0][i], deflatable[1][i], deflatable[2][i],
+          deflatable[3][i]};
+}
+
+HostView HostScanTable::view_of(std::size_t i) const noexcept {
+  HostView view;
+  view.host_id = i;
+  view.capacity = capacity;
+  view.available = available_of(i);
+  view.deflatable = deflatable_of(i);
+  view.overcommit_ratio = overcommit[i];
+  return view;
+}
+
+// --- deterministic (thread-count independent) strategy scan -----------------
+
+namespace {
+
+struct ScanBest {
+  double score = 0.0;
+  std::size_t host = 0;
+  bool valid = false;
+};
+
+/// Strict total order on (score, host id): exactly the serial pick_host
+/// preference, so merging chunk winners in *any* order yields the same
+/// final answer as one serial sweep.
+bool scan_better(PlacementStrategy strategy, double score, std::size_t host,
+                 const ScanBest& best) {
+  if (!best.valid) return true;
+  switch (strategy) {
+    case PlacementStrategy::Fitness:
+    case PlacementStrategy::WorstFit:
+      if (score != best.score) return score > best.score;
+      return host < best.host;
+    case PlacementStrategy::BestFit:
+      if (score != best.score) return score < best.score;
+      return host < best.host;
+    case PlacementStrategy::FirstFit:
+      return host < best.host;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::size_t> scan_pick_host(PlacementStrategy strategy,
+                                          const res::ResourceVector& demand,
+                                          const HostScanTable& table,
+                                          std::span<const std::size_t> candidates,
+                                          ScanFeasibility feasibility,
+                                          bool under_pressure,
+                                          util::ThreadPool* pool) {
+  const auto evaluate = [&](std::size_t begin, std::size_t end,
+                            ScanBest& best) {
+    for (std::size_t c = begin; c < end; ++c) {
+      const std::size_t server = candidates[c];
+      if (!table.eligible[server]) continue;
+      const res::ResourceVector avail = table.available_of(server);
+      if (feasibility == ScanFeasibility::FreeCapacity) {
+        if (!demand.all_leq(avail, 1e-9)) continue;
+      } else {
+        const res::ResourceVector need = (demand - avail).clamped_nonneg();
+        if (!need.all_leq(table.deflatable_of(server), 1e-9)) continue;
+      }
+      double score = 0.0;
+      if (strategy != PlacementStrategy::FirstFit) {
+        const HostView view = table.view_of(server);
+        if (strategy == PlacementStrategy::Fitness) {
+          score = under_pressure ? pressure_fitness(demand, view)
+                                 : fitness(demand, view);
+        } else {
+          score = leftover_score(demand, view);
+        }
+      }
+      if (scan_better(strategy, score, server, best)) {
+        best = {score, server, true};
+      }
+    }
+  };
+
+  // Below this size the chunk dispatch costs more than the scan; the cutoff
+  // cannot change results (serial and chunked agree bit-for-bit), only
+  // where the work runs.
+  constexpr std::size_t kMinParallelScan = 1024;
+  ScanBest best;
+  if (pool == nullptr || pool->size() <= 1 ||
+      candidates.size() < kMinParallelScan) {
+    evaluate(0, candidates.size(), best);
+  } else {
+    std::mutex merge_mutex;
+    util::parallel_for(pool, candidates.size(),
+                       [&](std::size_t begin, std::size_t end) {
+                         ScanBest local;
+                         evaluate(begin, end, local);
+                         if (!local.valid) return;
+                         std::scoped_lock lock(merge_mutex);
+                         if (scan_better(strategy, local.score, local.host,
+                                         best)) {
+                           best = local;
+                         }
+                       });
+  }
+  if (!best.valid) return std::nullopt;
+  return best.host;
 }
 
 }  // namespace deflate::cluster

@@ -8,12 +8,14 @@
 // overcommitted servers and thus balancing load (§5.2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "resources/resource_vector.hpp"
+#include "util/thread_pool.hpp"
 
 namespace deflate::cluster {
 
@@ -66,5 +68,51 @@ enum class PlacementStrategy { Fitness, FirstFit, BestFit, WorstFit };
 [[nodiscard]] std::optional<std::size_t> pick_host(
     PlacementStrategy strategy, const res::ResourceVector& demand,
     std::span<const HostView> hosts, bool under_pressure = false);
+
+/// SoA (structure-of-arrays) per-server scan storage: one dense column per
+/// view field, indexed by server id. The placement scoring loop and the
+/// deflation sweeps read a handful of sequential double streams instead of
+/// striding over per-server structs behind pointers, so the hot scan is
+/// cache-linear and trivially chunkable across worker threads.
+struct HostScanTable {
+  /// Fleet-uniform server capacity (every server shares the config's).
+  res::ResourceVector capacity;
+  std::array<std::vector<double>, res::kNumResources> available;
+  std::array<std::vector<double>, res::kNumResources> deflatable;
+  std::vector<double> overcommit;
+  /// active && accepting: the scan considers only eligible servers.
+  std::vector<std::uint8_t> eligible;
+
+  void resize(std::size_t servers);
+  [[nodiscard]] std::size_t size() const noexcept { return overcommit.size(); }
+
+  void set_available(std::size_t i, const res::ResourceVector& v) noexcept;
+  void set_deflatable(std::size_t i, const res::ResourceVector& v) noexcept;
+  [[nodiscard]] res::ResourceVector available_of(std::size_t i) const noexcept;
+  [[nodiscard]] res::ResourceVector deflatable_of(std::size_t i) const noexcept;
+  /// Materializes the classic HostView for server `i` (bit-identical to
+  /// what the old per-node views held — the columns store the same
+  /// doubles), for the cold paths that still want the struct form.
+  [[nodiscard]] HostView view_of(std::size_t i) const noexcept;
+};
+
+/// Which feasibility test the scan applies (the two passes of place_vm):
+/// free capacity alone, or free capacity plus policy-deflatable headroom.
+enum class ScanFeasibility { FreeCapacity, WithDeflation };
+
+/// Strategy scan over the SoA table restricted to `candidates` (ineligible
+/// servers are skipped). Returns the winning *server id*. Semantics are
+/// identical to filtering the candidates and calling pick_host: same
+/// feasibility epsilons, same scores, ties broken by lowest host id.
+///
+/// When `pool` is non-null and the candidate set is large, the scan is
+/// chunked across the pool's workers. The reduction merges chunk winners
+/// under the same total order (score, then lowest id), so the result is
+/// bit-identical for any thread count — including zero (serial).
+[[nodiscard]] std::optional<std::size_t> scan_pick_host(
+    PlacementStrategy strategy, const res::ResourceVector& demand,
+    const HostScanTable& table, std::span<const std::size_t> candidates,
+    ScanFeasibility feasibility, bool under_pressure,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace deflate::cluster

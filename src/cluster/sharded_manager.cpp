@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/profiler.hpp"
+
 namespace deflate::cluster {
 
 const char* shard_selection_name(ShardSelectionPolicy p) noexcept {
@@ -34,6 +36,9 @@ std::size_t clamp_shard_count(const ShardedClusterConfig& config) {
 std::unique_ptr<ClusterManagerBase> make_cluster_manager(
     ShardedClusterConfig config) {
   if (config.shard_count <= 1) {
+    // The degenerate flat fleet still gets the worker pool: its placement
+    // scans chunk across the same thread budget.
+    config.cluster.worker_threads = config.worker_threads;
     return std::make_unique<ClusterManager>(std::move(config.cluster));
   }
   return std::make_unique<ShardedClusterManager>(std::move(config));
@@ -44,6 +49,9 @@ ShardedClusterManager::ShardedClusterManager(ShardedClusterConfig config)
       total_servers_(config_.cluster.server_count),
       routing_rng_(util::Rng::keyed(config_.routing_seed, /*stream=*/0x5a4d)) {
   const std::size_t shard_count = clamp_shard_count(config_);
+  if (config_.worker_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
+  }
   shards_.resize(shard_count);
   dirty_queue_.reserve(shard_count);
 
@@ -60,6 +68,10 @@ ShardedClusterManager::ShardedClusterManager(ShardedClusterConfig config)
 
     ClusterConfig shard_config = config_.cluster;
     shard_config.server_count = shard.size;
+    // All shards share one pool (a pool per shard would oversubscribe the
+    // machine shard_count-fold).
+    shard_config.worker_threads = 0;
+    shard_config.scan_pool = pool_.get();
     shard.manager = std::make_unique<ClusterManager>(std::move(shard_config));
     refresh_shard(shard);
 
@@ -91,6 +103,7 @@ ShardedClusterManager::ShardedClusterManager(ShardedClusterConfig config)
 }
 
 void ShardedClusterManager::mark_dirty(std::size_t s) {
+  std::scoped_lock lock(dirty_mutex_);
   if (shards_[s].dirty) return;
   shards_[s].dirty = true;
   dirty_queue_.push_back(s);
@@ -99,14 +112,34 @@ void ShardedClusterManager::mark_dirty(std::size_t s) {
 void ShardedClusterManager::refresh_shard(Shard& shard) {
   const FleetAggregate aggregate = shard.manager->aggregate_free();
   shard.free = aggregate.available + aggregate.deflatable;
-  shard.dirty = false;
 }
 
 void ShardedClusterManager::flush_views() {
-  for (const std::size_t s : dirty_queue_) {
-    if (shards_[s].dirty) refresh_shard(shards_[s]);
+  DEFLATE_PROFILE_SCOPE("sharded.flush_views");
+  // Drain to a fixpoint: snapshot the dirty set under the lock, clear the
+  // flags, refresh the snapshot concurrently, then re-check — a shard
+  // dirtied during the pass (its flag re-set by mark_dirty) lands in the
+  // next pass instead of being silently dropped with the cleared queue.
+  std::vector<std::size_t> snapshot;
+  for (;;) {
+    {
+      std::scoped_lock lock(dirty_mutex_);
+      if (dirty_queue_.empty()) return;
+      snapshot.swap(dirty_queue_);
+      dirty_queue_.clear();
+      for (const std::size_t s : snapshot) shards_[s].dirty = false;
+    }
+    // Each refresh touches only its own shard's state, so the pass
+    // parallelizes cleanly and the aggregates are thread-count
+    // independent.
+    util::parallel_for(pool_.get(), snapshot.size(),
+                       [this, &snapshot](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           refresh_shard(shards_[snapshot[i]]);
+                         }
+                       });
+    snapshot.clear();
   }
-  dirty_queue_.clear();
 }
 
 double ShardedClusterManager::shard_score(const Shard& shard,
@@ -183,6 +216,7 @@ std::vector<std::size_t> ShardedClusterManager::route_tail(
 }
 
 PlacementResult ShardedClusterManager::place_vm(const hv::VmSpec& spec) {
+  DEFLATE_PROFILE_SCOPE("sharded.place");
   const res::ResourceVector demand = spec.vector();
   // Per-shard stats deltas of failed attempts this placement; all but the
   // "real" one (first attempt of a full rejection) are routing noise to be

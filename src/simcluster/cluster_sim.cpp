@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace deflate::simcluster {
 
 namespace {
@@ -46,6 +48,9 @@ std::unique_ptr<cluster::ClusterManagerBase> make_manager(
   sharded.shard_count = config.shard_count;
   sharded.selection = config.shard_selection;
   sharded.routing_seed = config.shard_routing_seed;
+  sharded.worker_threads = config.worker_threads != 0
+                               ? config.worker_threads
+                               : util::env_threads();
   return cluster::make_cluster_manager(std::move(sharded));
 }
 

@@ -52,6 +52,10 @@ struct SimConfig {
   cluster::ShardSelectionPolicy shard_selection =
       cluster::ShardSelectionPolicy::PowerOfTwoChoices;
   std::uint64_t shard_routing_seed = 42;
+  /// Worker threads for the manager's placement scans and tick-barrier
+  /// view drains. 0 = take DEFLATE_THREADS from the environment (unset =
+  /// serial). Never changes results — only wall-clock time.
+  std::size_t worker_threads = 0;
 
   // --- transient market (src/transient) ---
   /// Enables the spot-price / revocation / portfolio layer. With

@@ -1,0 +1,88 @@
+#include "util/profiler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace deflate::util {
+
+struct Profiler::Impl {
+  mutable std::mutex mutex;
+  /// Deque keeps phase addresses stable across registrations.
+  std::deque<ProfilePhase> phases;
+  std::unordered_map<std::string, ProfilePhase*> by_name;
+};
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+Profiler::Impl& Profiler::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+ProfilePhase& Profiler::phase(const char* name) {
+  Impl& state = impl();
+  std::scoped_lock lock(state.mutex);
+  const auto it = state.by_name.find(name);
+  if (it != state.by_name.end()) return *it->second;
+  state.phases.emplace_back(name);
+  ProfilePhase& created = state.phases.back();
+  state.by_name.emplace(created.name(), &created);
+  return created;
+}
+
+void Profiler::reset() {
+  Impl& state = impl();
+  std::scoped_lock lock(state.mutex);
+  for (ProfilePhase& phase : state.phases) phase.reset();
+}
+
+std::vector<Profiler::PhaseStats> Profiler::snapshot() const {
+  Impl& state = impl();
+  std::vector<PhaseStats> stats;
+  {
+    std::scoped_lock lock(state.mutex);
+    stats.reserve(state.phases.size());
+    for (const ProfilePhase& phase : state.phases) {
+      if (phase.calls() == 0) continue;
+      stats.push_back({phase.name(), phase.calls(),
+                       static_cast<double>(phase.nanos()) * 1e-9});
+    }
+  }
+  std::sort(stats.begin(), stats.end(),
+            [](const PhaseStats& a, const PhaseStats& b) {
+              if (a.seconds != b.seconds) return a.seconds > b.seconds;
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+void Profiler::report(std::ostream& out) const {
+  const std::vector<PhaseStats> stats = snapshot();
+  if (stats.empty()) return;
+  double total = 0.0;
+  std::size_t width = 5;
+  for (const PhaseStats& s : stats) {
+    total += s.seconds;
+    width = std::max(width, s.name.size());
+  }
+  out << "profile (per-phase wall time; concurrent scopes sum, so shares "
+         "can exceed 100%):\n";
+  const auto flags = out.flags();
+  for (const PhaseStats& s : stats) {
+    out << "  " << std::left << std::setw(static_cast<int>(width)) << s.name
+        << std::right << std::fixed << "  " << std::setw(10)
+        << std::setprecision(3) << s.seconds * 1e3 << " ms  " << std::setw(10)
+        << s.calls << " calls  " << std::setw(5) << std::setprecision(1)
+        << (total > 0.0 ? 100.0 * s.seconds / total : 0.0) << "%\n";
+  }
+  out.flags(flags);
+}
+
+}  // namespace deflate::util

@@ -1,9 +1,19 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <stdexcept>
 
 namespace deflate::util {
+
+namespace {
+
+/// The pool whose worker_loop the current thread is running (nullptr on
+/// non-pool threads). Lets parallel_for detect nested invocations.
+thread_local const ThreadPool* current_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -15,13 +25,24 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::scoped_lock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Workers drain the queue before exiting and submit() rejects once stop_
+  // is set, so the queue is normally empty here. Defensively fail whatever
+  // is left: destroying an unrun packaged_task breaks its promise, so a
+  // waiter gets std::future_error instead of blocking forever.
+  std::scoped_lock lock(mutex_);
+  while (!tasks_.empty()) tasks_.pop();
+  idle_cv_.notify_all();
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -29,6 +50,10 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto future = packaged.get_future();
   {
     std::scoped_lock lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error(
+          "ThreadPool: submit after shutdown (task would never run)");
+    }
     tasks_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -40,7 +65,12 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const noexcept {
+  return current_worker_pool == this;
+}
+
 void ThreadPool::worker_loop() {
+  current_worker_pool = this;
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -61,21 +91,49 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(env_threads());
   return pool;
 }
 
-void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+std::size_t env_threads() {
+  const char* env = std::getenv("DEFLATE_THREADS");
+  if (env == nullptr) return 0;
+  const long parsed = std::atol(env);
+  if (parsed <= 0) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for(&global_pool(), n, body);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  ThreadPool& pool = global_pool();
-  const std::size_t chunks = std::min(n, pool.size() * 4);
+  if (pool == nullptr) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(n, pool->size() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
+
+  if (pool->on_worker_thread()) {
+    // Nested invocation from one of this pool's own workers: enqueueing
+    // would block this worker on chunks that may need its slot (classic
+    // self-deadlock once every worker waits). Run the same chunks inline;
+    // chunking is identical, so results are too.
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      body(begin, std::min(n, begin + chunk));
+    }
+    return;
+  }
 
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(n, begin + chunk);
-    futures.push_back(pool.submit([&body, begin, end] { body(begin, end); }));
+    futures.push_back(pool->submit([&body, begin, end] { body(begin, end); }));
   }
   std::exception_ptr first_error;
   for (auto& future : futures) {

@@ -1,0 +1,248 @@
+// Thread-count parity stress (ctest label: scale): the worker pool must be
+// invisible in every result. The same fleet + seed driven with
+// worker_threads in {serial, 4, 16} has to produce *bit-identical*
+// outcomes — per-server committed vectors, ClusterStats, SimMetrics and
+// the CostReport — because all parallel reductions (the SoA placement
+// scan, the tick-barrier view drains, the shard refresh) merge under a
+// fixed total order. Any divergence here means a scheduling-dependent
+// reduction snuck into a hot path.
+//
+// Also pins the flush-barrier fixpoint (shards dirtied while a refresh
+// pass runs are drained before the barrier returns) by churning through
+// revocations/restores — the paths that re-dirty shards mid-maintenance —
+// and comparing end states across thread counts.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/sharded_manager.hpp"
+#include "simcluster/cluster_sim.hpp"
+#include "trace/azure.hpp"
+#include "util/rng.hpp"
+
+namespace cl = deflate::cluster;
+namespace hv = deflate::hv;
+namespace res = deflate::res;
+namespace sc = deflate::simcluster;
+namespace tn = deflate::transient;
+namespace tr = deflate::trace;
+namespace util = deflate::util;
+
+namespace {
+
+hv::VmSpec churn_spec(util::Rng& rng, std::uint64_t id) {
+  static const int kCores[] = {8, 16, 16, 24, 32};
+  hv::VmSpec spec;
+  spec.id = id;
+  spec.name = "vm-" + std::to_string(id);
+  spec.vcpus = kCores[rng.uniform_int(0, 4)];
+  spec.memory_mib = spec.vcpus * 2048.0;
+  spec.disk_bw_mbps = 0.0;
+  spec.net_bw_mbps = 0.0;
+  spec.deflatable = rng.bernoulli(0.6);
+  spec.priority =
+      spec.deflatable ? 0.2 * static_cast<double>(rng.uniform_int(1, 4)) : 1.0;
+  return spec;
+}
+
+struct ChurnEndState {
+  std::vector<double> committed_cpu;  ///< per server, global id order
+  std::vector<double> allocated_cpu;
+  cl::ClusterStats stats;
+};
+
+/// Seeded warm + churn with revocations/restores mixed in: exercises the
+/// placement scan, the deflation path, take_server_offline/restore (which
+/// flip scan-table eligibility) and the flush barrier.
+ChurnEndState run_churn(cl::ClusterManagerBase& manager, std::size_t servers) {
+  util::Rng rng(2020);
+  std::vector<std::uint64_t> live;
+  std::vector<std::size_t> revoked;
+  std::uint64_t next_id = 1;
+
+  const double target = 0.55 * 48.0 * static_cast<double>(servers);
+  double committed = 0.0;
+  while (committed < target) {
+    const hv::VmSpec spec = churn_spec(rng, next_id++);
+    if (manager.place_vm(spec).ok()) {
+      live.push_back(spec.id);
+      committed += static_cast<double>(spec.vcpus);
+    }
+  }
+
+  for (std::size_t op = 0; op < 1500; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind < 5 && !live.empty()) {  // replace a resident
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      manager.remove_vm(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+      const hv::VmSpec spec = churn_spec(rng, next_id++);
+      if (manager.place_vm(spec).ok()) live.push_back(spec.id);
+    } else if (kind < 8) {  // fresh arrival (pressure builds)
+      const hv::VmSpec spec = churn_spec(rng, next_id++);
+      if (manager.place_vm(spec).ok()) live.push_back(spec.id);
+    } else if (kind == 8) {  // revoke a random active server
+      const std::size_t server = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(servers) - 1));
+      if (manager.server_active(server)) {
+        manager.revoke_server(server);
+        revoked.push_back(server);
+      }
+    } else if (!revoked.empty()) {  // restore the oldest revocation
+      manager.restore_server(revoked.front());
+      revoked.erase(revoked.begin());
+    }
+    if (op % 64 == 0) manager.flush_views();
+  }
+  manager.flush_views();
+
+  // Purge ids of VMs that vanished via revocation kills so the live list
+  // stays in sync (remove_vm on a dead id is a no-op returning false).
+  ChurnEndState state;
+  state.committed_cpu.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    state.committed_cpu.push_back(
+        manager.host(i).committed()[res::Resource::Cpu]);
+    state.allocated_cpu.push_back(
+        manager.host(i).allocated()[res::Resource::Cpu]);
+  }
+  state.stats = manager.stats();
+  return state;
+}
+
+void expect_identical(const ChurnEndState& a, const ChurnEndState& b,
+                      const char* label) {
+  ASSERT_EQ(a.committed_cpu.size(), b.committed_cpu.size());
+  for (std::size_t i = 0; i < a.committed_cpu.size(); ++i) {
+    ASSERT_EQ(a.committed_cpu[i], b.committed_cpu[i])
+        << label << ": committed CPU diverges on server " << i;
+    ASSERT_EQ(a.allocated_cpu[i], b.allocated_cpu[i])
+        << label << ": allocated CPU diverges on server " << i;
+  }
+  EXPECT_EQ(a.stats.placements, b.stats.placements) << label;
+  EXPECT_EQ(a.stats.rejections, b.stats.rejections) << label;
+  EXPECT_EQ(a.stats.reclamation_attempts, b.stats.reclamation_attempts)
+      << label;
+  EXPECT_EQ(a.stats.reclamation_failures, b.stats.reclamation_failures)
+      << label;
+  EXPECT_EQ(a.stats.deflated_launches, b.stats.deflated_launches) << label;
+  EXPECT_EQ(a.stats.preemptions, b.stats.preemptions) << label;
+  EXPECT_EQ(a.stats.revocations, b.stats.revocations) << label;
+  EXPECT_EQ(a.stats.restorations, b.stats.restorations) << label;
+  EXPECT_EQ(a.stats.revocation_migrations, b.stats.revocation_migrations)
+      << label;
+  EXPECT_EQ(a.stats.revocation_kills, b.stats.revocation_kills) << label;
+}
+
+ChurnEndState churn_with_threads(std::size_t servers, std::size_t shards,
+                                 std::size_t threads) {
+  cl::ShardedClusterConfig config;
+  config.cluster.server_count = servers;
+  config.cluster.server_capacity = {48.0, 128.0 * 1024.0, 1e9, 1e9};
+  config.shard_count = shards;
+  config.worker_threads = threads;
+  std::unique_ptr<cl::ClusterManagerBase> manager =
+      cl::make_cluster_manager(config);
+  return run_churn(*manager, servers);
+}
+
+}  // namespace
+
+// Flat manager, 10k servers: the candidate set (the whole fleet) is far
+// above the parallel-scan cutoff, so the 4/16-thread runs genuinely chunk
+// the SoA scan across workers — and must still match the serial run bit
+// for bit.
+TEST(ParallelParity, FlatManagerScanIsThreadCountInvariant) {
+  const std::size_t servers = 10000;
+  const ChurnEndState serial = churn_with_threads(servers, 1, 0);
+  const ChurnEndState t4 = churn_with_threads(servers, 1, 4);
+  const ChurnEndState t16 = churn_with_threads(servers, 1, 16);
+  expect_identical(serial, t4, "flat 4 threads");
+  expect_identical(serial, t16, "flat 16 threads");
+}
+
+// Sharded scheduler, 4 shards x 2500 servers: in-shard scans exceed the
+// parallel cutoff, dirty shards refresh concurrently at the flush barrier,
+// and revocations re-dirty shards mid-churn (fixpoint path).
+TEST(ParallelParity, ShardedManagerIsThreadCountInvariant) {
+  const std::size_t servers = 10000;
+  const ChurnEndState serial = churn_with_threads(servers, 4, 0);
+  const ChurnEndState t4 = churn_with_threads(servers, 4, 4);
+  const ChurnEndState t16 = churn_with_threads(servers, 4, 16);
+  expect_identical(serial, t4, "sharded 4 threads");
+  expect_identical(serial, t16, "sharded 16 threads");
+}
+
+// End-to-end simulator parity with the transient market on: revocation
+// churn, portfolio cost accounting and the tick-barrier flush all run
+// above the worker pool, and every reported metric — including the cost
+// integrals — must be independent of the thread count.
+TEST(ParallelParity, SimulatorMetricsAreThreadCountInvariant) {
+  tr::AzureTraceConfig trace_config;
+  trace_config.vm_count = 500;
+  trace_config.seed = 77;
+  trace_config.duration = deflate::sim::SimTime::from_hours(48);
+  const std::vector<tr::VmRecord> records =
+      tr::AzureTraceGenerator(trace_config).generate();
+
+  const auto run_with = [&](std::size_t threads) {
+    sc::SimConfig config;
+    config.server_capacity = {48.0, 128.0 * 1024.0, 1e9, 1e9};
+    config.server_count = sc::TraceDrivenSimulator::servers_for_overcommit(
+        records, config.server_capacity, -0.2);
+    config.shard_count = 8;
+    config.worker_threads = threads;
+    config.market_enabled = true;
+    config.market.seed = 13;
+    config.market.revocation.model = tn::RevocationModel::Poisson;
+    config.market.revocation.poisson_rate_per_hour = 1.0 / 18.0;
+    config.market.portfolio.on_demand_floor = 0.25;
+    return sc::TraceDrivenSimulator(records, config).run();
+  };
+
+  const sc::SimMetrics serial = run_with(1);
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+    const sc::SimMetrics threaded = run_with(threads);
+    EXPECT_EQ(serial.reclamation_attempts, threaded.reclamation_attempts);
+    EXPECT_EQ(serial.reclamation_failures, threaded.reclamation_failures);
+    EXPECT_EQ(serial.preemptions, threaded.preemptions);
+    EXPECT_EQ(serial.rejections, threaded.rejections);
+    EXPECT_EQ(serial.revocations, threaded.revocations);
+    EXPECT_EQ(serial.revocation_migrations, threaded.revocation_migrations);
+    EXPECT_EQ(serial.revocation_kills, threaded.revocation_kills);
+    EXPECT_EQ(serial.failure_probability, threaded.failure_probability);
+    EXPECT_EQ(serial.throughput_loss, threaded.throughput_loss);
+    EXPECT_EQ(serial.unserved_core_hours, threaded.unserved_core_hours);
+    EXPECT_EQ(serial.mean_cpu_deflation, threaded.mean_cpu_deflation);
+    EXPECT_EQ(serial.achieved_overcommit, threaded.achieved_overcommit);
+    EXPECT_EQ(serial.transient_server_share, threaded.transient_server_share);
+    EXPECT_EQ(serial.cost.on_demand_core_hours,
+              threaded.cost.on_demand_core_hours);
+    EXPECT_EQ(serial.cost.transient_core_hours,
+              threaded.cost.transient_core_hours);
+    EXPECT_EQ(serial.cost.on_demand_cost, threaded.cost.on_demand_cost);
+    EXPECT_EQ(serial.cost.transient_cost, threaded.cost.transient_cost);
+    EXPECT_EQ(serial.cost.all_on_demand_cost,
+              threaded.cost.all_on_demand_cost);
+  }
+}
+
+// DEFLATE_THREADS is the environment-level knob feeding the same plumbing
+// (SimConfig.worker_threads = 0 resolves through util::env_threads); the
+// explicit-parameter invariance above covers it, but pin the resolution
+// order: an explicit worker_threads wins over the environment.
+TEST(ParallelParity, ExplicitThreadsOverrideEnvironment) {
+  cl::ShardedClusterConfig config;
+  config.cluster.server_count = 64;
+  config.shard_count = 2;
+  config.worker_threads = 3;
+  cl::ShardedClusterManager manager(config);
+  EXPECT_EQ(manager.shard_count(), 2U);
+  // Placements still work with an explicit pool size.
+  util::Rng rng(1);
+  const hv::VmSpec spec = churn_spec(rng, 1);
+  EXPECT_TRUE(manager.place_vm(spec).ok());
+}

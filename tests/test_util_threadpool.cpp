@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -83,6 +85,96 @@ TEST(ParallelFor, DeterministicWithDerivedStreams) {
   const auto a = compute();
   const auto b = compute();
   EXPECT_EQ(a, b);
+}
+
+// Regression: a task already running on a pool worker calls parallel_for
+// on the same pool. Enqueueing the chunks used to block the worker on work
+// that needed its own slot — with every worker doing this, a guaranteed
+// self-deadlock. The nested call must detect the worker thread and run its
+// chunks inline.
+TEST(ParallelFor, NestedCallFromPoolWorkerCompletes) {
+  du::ThreadPool pool(2);
+  const std::size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  std::vector<std::future<void>> futures;
+  // Saturate the pool: every worker runs a task that itself parallel_fors,
+  // so any enqueue-and-wait in the nested call has no free slot to run on.
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    futures.push_back(pool.submit([&pool, &hits, n] {
+      du::parallel_for(&pool, n, [&hits](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      });
+    }));
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "nested parallel_for deadlocked";
+    f.get();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), static_cast<int>(pool.size()));
+  }
+}
+
+TEST(ParallelFor, OnWorkerThreadDetection) {
+  du::ThreadPool pool(1);
+  du::ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());
+  pool.submit([&] {
+      EXPECT_TRUE(pool.on_worker_thread());
+      EXPECT_FALSE(other.on_worker_thread());
+    }).get();
+}
+
+// Regression: submit() after shutdown used to enqueue a task no worker
+// would ever pop — the returned future never resolved and wait_idle()
+// hung. Late submissions must fail loudly instead.
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  du::ThreadPool pool(2);
+  pool.submit([] {}).get();
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.wait_idle();  // must not hang: nothing is pending after shutdown
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  du::ThreadPool pool(1);
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+// Shutdown-race: tasks queued behind a long-running one are drained by the
+// exiting workers (not dropped), and every future resolves.
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::vector<std::future<void>> futures;
+  std::atomic<int> ran{0};
+  {
+    du::ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> blocked = gate.get_future().share();
+    futures.push_back(pool.submit([blocked] { blocked.wait(); }));
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([&ran] { ++ran; }));
+    }
+    gate.set_value();
+  }  // destructor: shutdown + drain
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  std::size_t calls = 0;
+  std::size_t covered = 0;
+  du::parallel_for(nullptr, 1000, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    covered += end - begin;
+  });
+  EXPECT_EQ(calls, 1U);  // one chunk, zero threading overhead
+  EXPECT_EQ(covered, 1000U);
 }
 
 TEST(ParallelFor, SumMatchesSerial) {
