@@ -3,10 +3,13 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/alibaba.hpp"
 #include "trace/azure.hpp"
+#include "trace/replay.hpp"
 #include "util/profiler.hpp"
 #include "util/table.hpp"
 
@@ -35,6 +38,26 @@ inline std::vector<trace::VmRecord> feasibility_trace() {
   config.seed = 42;
   config.duration = sim::SimTime::from_hours(72);
   return trace::AzureTraceGenerator(config).generate();
+}
+
+/// Streaming variant of feasibility_trace(): the identical population (the
+/// records are (seed, id)-keyed, so content matches the materialized
+/// vector), yielded in arrival order through the bounded-memory replay
+/// window instead of being held as one vector. The feasibility figures
+/// consume it in a single pass via analysis::cpu_underallocation_boxes.
+inline std::unique_ptr<trace::VmArrivalStream> feasibility_stream() {
+  trace::ReplayConfig replay;
+  replay.azure.vm_count = scaled(20000);
+  replay.azure.seed = 42;
+  replay.azure.duration = sim::SimTime::from_hours(72);
+  return trace::make_arrival_stream(replay);
+}
+
+/// The deflation sweep the feasibility figures plot (10% .. 90%).
+inline std::vector<double> deflation_levels() {
+  std::vector<double> levels;
+  for (int d = 10; d <= 90; d += 10) levels.push_back(d / 100.0);
+  return levels;
 }
 
 /// The Alibaba-like container trace for Figs. 9-12.

@@ -1,5 +1,6 @@
 // Figure 6: deflatability by workload class. Interactive VMs (the web
 // workloads) have more slack than delay-insensitive batch VMs (§3.2.1).
+// Streams the trace in one pass — the population is never materialized.
 #include <iostream>
 
 #include "analysis/feasibility.hpp"
@@ -12,8 +13,6 @@ int main() {
       "interactive VMs impacted 1-15% of the time as deflation goes "
       "10%->50%; batch (delay-insensitive) 1-30%");
 
-  const auto records = bench::feasibility_trace();
-
   const struct {
     const char* label;
     hv::WorkloadClass workload;
@@ -23,29 +22,32 @@ int main() {
       {"unknown", hv::WorkloadClass::Unknown},
   };
 
-  for (const auto& cls : classes) {
+  const auto stream = bench::feasibility_stream();
+  const std::vector<double> levels = bench::deflation_levels();
+  const auto boxes = analysis::cpu_underallocation_boxes(
+      *stream, levels, std::size(classes), [&](const trace::VmRecord& record) {
+        for (std::size_t c = 0; c < std::size(classes); ++c) {
+          if (record.workload == classes[c].workload) {
+            return static_cast<int>(c);
+          }
+        }
+        return -1;
+      });
+
+  for (std::size_t c = 0; c < std::size(classes); ++c) {
     util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
-    for (int d = 10; d <= 90; d += 10) {
-      const auto box = analysis::cpu_underallocation_box(
-          records, d / 100.0, [&](const trace::VmRecord& record) {
-            return record.workload == cls.workload;
-          });
-      table.add_row_labeled(std::to_string(d),
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const auto& box = boxes[c][i];
+      table.add_row_labeled(std::to_string(10 * static_cast<int>(i + 1)),
                             {box.min, box.q1, box.median, box.q3, box.max});
     }
-    std::cout << "-- class: " << cls.label << " --\n";
+    std::cout << "-- class: " << classes[c].label << " --\n";
     table.print(std::cout);
     std::cout << "\n";
   }
 
-  const auto interactive_50 = analysis::cpu_underallocation_box(
-      records, 0.5, [](const trace::VmRecord& record) {
-        return record.workload == hv::WorkloadClass::Interactive;
-      });
-  const auto batch_50 = analysis::cpu_underallocation_box(
-      records, 0.5, [](const trace::VmRecord& record) {
-        return record.workload == hv::WorkloadClass::DelayInsensitive;
-      });
+  const auto& interactive_50 = boxes[0][4];  // levels[4] == 0.5
+  const auto& batch_50 = boxes[1][4];
   std::cout << "headline @50% deflation (median): interactive "
             << util::format_double(100.0 * interactive_50.median, 1)
             << "% vs batch " << util::format_double(100.0 * batch_50.median, 1)

@@ -1,5 +1,6 @@
 // Figure 7: deflatability by VM memory size — the paper finds no
 // correlation between size and deflatability (§3.2.1).
+// Streams the trace in one pass — the population is never materialized.
 #include <iostream>
 
 #include "analysis/feasibility.hpp"
@@ -12,34 +13,36 @@ int main() {
       "VM size has no direct correlation with deflatability; all sizes see "
       "similar impact at a given deflation level");
 
-  const auto records = bench::feasibility_trace();
-
   const trace::SizeBucket buckets[] = {trace::SizeBucket::Small,
                                        trace::SizeBucket::Medium,
                                        trace::SizeBucket::Large};
-  for (const auto bucket : buckets) {
+
+  const auto stream = bench::feasibility_stream();
+  const std::vector<double> levels = bench::deflation_levels();
+  const auto boxes = analysis::cpu_underallocation_boxes(
+      *stream, levels, std::size(buckets), [&](const trace::VmRecord& record) {
+        for (std::size_t b = 0; b < std::size(buckets); ++b) {
+          if (record.size_bucket() == buckets[b]) return static_cast<int>(b);
+        }
+        return -1;
+      });
+
+  for (std::size_t b = 0; b < std::size(buckets); ++b) {
     util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
-    for (int d = 10; d <= 90; d += 10) {
-      const auto box = analysis::cpu_underallocation_box(
-          records, d / 100.0, [&](const trace::VmRecord& record) {
-            return record.size_bucket() == bucket;
-          });
-      table.add_row_labeled(std::to_string(d),
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const auto& box = boxes[b][i];
+      table.add_row_labeled(std::to_string(10 * static_cast<int>(i + 1)),
                             {box.min, box.q1, box.median, box.q3, box.max});
     }
-    std::cout << "-- size: " << trace::size_bucket_name(bucket) << " --\n";
+    std::cout << "-- size: " << trace::size_bucket_name(buckets[b]) << " --\n";
     table.print(std::cout);
     std::cout << "\n";
   }
 
   std::cout << "headline @50% deflation (medians across sizes):";
-  for (const auto bucket : buckets) {
-    const auto box = analysis::cpu_underallocation_box(
-        records, 0.5, [&](const trace::VmRecord& record) {
-          return record.size_bucket() == bucket;
-        });
-    std::cout << "  " << trace::size_bucket_name(bucket) << "="
-              << util::format_double(100.0 * box.median, 1) << "%";
+  for (std::size_t b = 0; b < std::size(buckets); ++b) {
+    std::cout << "  " << trace::size_bucket_name(buckets[b]) << "="
+              << util::format_double(100.0 * boxes[b][4].median, 1) << "%";
   }
   std::cout << "  (paper: roughly equal)\n";
   return 0;

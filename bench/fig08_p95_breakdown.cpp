@@ -1,5 +1,6 @@
 // Figure 8: deflatability by 95th-percentile CPU usage — peak load is a
 // coarse indicator of a VM's deflatability (§3.2.1).
+// Streams the trace in one pass — the population is never materialized.
 #include <iostream>
 
 #include "analysis/feasibility.hpp"
@@ -12,35 +13,38 @@ int main() {
       "up to 20% deflation every bucket except peak>80% has enough slack; "
       "higher peak loads imply greater impact when deflated");
 
-  const auto records = bench::feasibility_trace();
-
   const trace::PeakBucket buckets[] = {
       trace::PeakBucket::Low, trace::PeakBucket::Moderate,
       trace::PeakBucket::High, trace::PeakBucket::VeryHigh};
 
-  for (const auto bucket : buckets) {
+  const auto stream = bench::feasibility_stream();
+  const std::vector<double> levels = bench::deflation_levels();
+  const auto boxes = analysis::cpu_underallocation_boxes(
+      *stream, levels, std::size(buckets), [&](const trace::VmRecord& record) {
+        const auto bucket = trace::peak_bucket_for_p95(record.p95_cpu());
+        for (std::size_t b = 0; b < std::size(buckets); ++b) {
+          if (bucket == buckets[b]) return static_cast<int>(b);
+        }
+        return -1;
+      });
+
+  for (std::size_t b = 0; b < std::size(buckets); ++b) {
     util::Table table({"deflation_%", "min", "q1", "median", "q3", "max"});
-    for (int d = 10; d <= 90; d += 10) {
-      const auto box = analysis::cpu_underallocation_box(
-          records, d / 100.0, [&](const trace::VmRecord& record) {
-            return trace::peak_bucket_for_p95(record.p95_cpu()) == bucket;
-          });
-      table.add_row_labeled(std::to_string(d),
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const auto& box = boxes[b][i];
+      table.add_row_labeled(std::to_string(10 * static_cast<int>(i + 1)),
                             {box.min, box.q1, box.median, box.q3, box.max});
     }
-    std::cout << "-- bucket: " << trace::peak_bucket_name(bucket) << " --\n";
+    std::cout << "-- bucket: " << trace::peak_bucket_name(buckets[b]) << " --\n";
     table.print(std::cout);
     std::cout << "\n";
   }
 
   std::cout << "headline @20% deflation (medians): ";
-  for (const auto bucket : buckets) {
-    const auto box = analysis::cpu_underallocation_box(
-        records, 0.2, [&](const trace::VmRecord& record) {
-          return trace::peak_bucket_for_p95(record.p95_cpu()) == bucket;
-        });
-    std::cout << trace::peak_bucket_name(bucket) << "="
-              << util::format_double(100.0 * box.median, 1) << "%  ";
+  for (std::size_t b = 0; b < std::size(buckets); ++b) {
+    std::cout << trace::peak_bucket_name(buckets[b]) << "="
+              << util::format_double(100.0 * boxes[b][1].median, 1)
+              << "%  ";  // levels[1] == 0.2
   }
   std::cout << "(paper: ~0 for all but >80%)\n";
   return 0;

@@ -35,6 +35,30 @@ util::BoxStats cpu_underallocation_box(
       cpu_underallocation_fractions(records, deflation, filter));
 }
 
+std::vector<std::vector<util::BoxStats>> cpu_underallocation_boxes(
+    trace::VmArrivalStream& stream, std::span<const double> deflations,
+    std::size_t group_count,
+    const std::function<int(const trace::VmRecord&)>& group) {
+  std::vector<std::vector<std::vector<double>>> fractions(
+      group_count, std::vector<std::vector<double>>(deflations.size()));
+  while (const auto record = stream.next()) {
+    const int g = group ? group(*record) : 0;
+    if (g < 0 || static_cast<std::size_t>(g) >= group_count) continue;
+    for (std::size_t i = 0; i < deflations.size(); ++i) {
+      fractions[g][i].push_back(
+          record->cpu.fraction_above(1.0 - deflations[i]));
+    }
+  }
+  std::vector<std::vector<util::BoxStats>> out(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    out[g].reserve(deflations.size());
+    for (std::size_t i = 0; i < deflations.size(); ++i) {
+      out[g].push_back(util::BoxStats::from(fractions[g][i]));
+    }
+  }
+  return out;
+}
+
 util::BoxStats container_underallocation_box(
     std::span<const trace::ContainerRecord> containers, ContainerSeries series,
     double deflation) {

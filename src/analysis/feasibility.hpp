@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "trace/alibaba.hpp"
+#include "trace/replay.hpp"
 #include "trace/vm_record.hpp"
 #include "util/stats.hpp"
 
@@ -28,6 +29,20 @@ namespace deflate::analysis {
 [[nodiscard]] std::vector<double> cpu_underallocation_fractions(
     std::span<const trace::VmRecord> records, double deflation,
     const std::function<bool(const trace::VmRecord&)>& filter = nullptr);
+
+/// Streaming variant for bounded-memory traces: consumes `stream` in ONE
+/// pass, computing every (group, deflation-level) box together, so the
+/// trace is never materialized — only the per-VM statistic doubles are
+/// retained. `group` maps a VM to an index in [0, group_count) (negative or
+/// out-of-range drops the VM; nullptr puts every VM in group 0). The result
+/// is indexed [group][deflation]. Numerically identical to calling
+/// cpu_underallocation_box per (group, level) on the materialized records:
+/// the per-VM statistic is order-independent and BoxStats sorts its input.
+[[nodiscard]] std::vector<std::vector<util::BoxStats>>
+cpu_underallocation_boxes(
+    trace::VmArrivalStream& stream, std::span<const double> deflations,
+    std::size_t group_count = 1,
+    const std::function<int(const trace::VmRecord&)>& group = nullptr);
 
 /// Selector for one of the container series (memory, memory_bw, ...).
 using ContainerSeries =

@@ -31,13 +31,11 @@ cluster::ClusterConfig make_cluster_config(
   return out;
 }
 
-std::optional<transient::CapacityPlan> make_plan(
-    const std::vector<trace::VmRecord>& records, const SimConfig& config) {
+std::optional<transient::CapacityPlan> make_plan(sim::SimTime horizon,
+                                                 const SimConfig& config) {
   if (!config.market_enabled) return std::nullopt;
   const transient::TransientMarketEngine engine(config.market);
-  return engine.plan(config.server_count,
-                     TraceDrivenSimulator::horizon_of(records),
-                     /*deflatable_pools=*/4);
+  return engine.plan(config.server_count, horizon, /*deflatable_pools=*/4);
 }
 
 std::unique_ptr<cluster::ClusterManagerBase> make_manager(
@@ -68,16 +66,43 @@ sim::SimTime TraceDrivenSimulator::horizon_of(
 TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
                                            SimConfig config)
     : records_(std::move(records)),
-      config_(config),
-      plan_(make_plan(records_, config_)),
-      manager_(make_manager(config_, plan_)),
+      config_(std::move(config)),
       runtimes_(records_.size()) {
-  if (timed_migration()) {
-    migration_engine_.emplace(config_.migration, *manager_);
-  }
+  horizon_ = horizon_of(records_);
+  trace_peak_committed_ = peak_committed(records_);
   for (std::size_t i = 0; i < records_.size(); ++i) {
     runtimes_[i].record = &records_[i];
     id_to_idx_[records_[i].id] = i;
+  }
+  init_common();
+}
+
+TraceDrivenSimulator::TraceDrivenSimulator(trace::VmArrivalStream& stream,
+                                           SimConfig config)
+    : config_(std::move(config)), stream_(&stream) {
+  horizon_ = stream_->horizon();
+  trace_peak_committed_ = stream_->peak_committed();
+  init_common();
+}
+
+TraceDrivenSimulator::TraceDrivenSimulator(SimConfig config)
+    : config_(std::move(config)) {
+  if (!config_.replay.has_value()) {
+    throw std::invalid_argument(
+        "TraceDrivenSimulator(SimConfig): config.replay is unset");
+  }
+  owned_stream_ = trace::make_arrival_stream(*config_.replay);
+  stream_ = owned_stream_.get();
+  horizon_ = stream_->horizon();
+  trace_peak_committed_ = stream_->peak_committed();
+  init_common();
+}
+
+void TraceDrivenSimulator::init_common() {
+  plan_ = make_plan(horizon_, config_);
+  manager_ = make_manager(config_, plan_);
+  if (timed_migration()) {
+    migration_engine_.emplace(config_.migration, *manager_);
   }
 
   // Partitioned market: the never-revoked set must be exactly the
@@ -100,8 +125,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
     if (transient != plan_->transient_servers) {
       const transient::TransientMarketEngine engine(config_.market);
       engine.rebind_transient_servers(*plan_, pool0.size(),
-                                      std::move(transient),
-                                      horizon_of(records_));
+                                      std::move(transient), horizon_);
     }
   }
 
@@ -133,20 +157,20 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
   manager_->subscribe_deflation([this](const hv::Vm& vm,
                                       const res::ResourceVector& /*old_alloc*/,
                                       const res::ResourceVector& new_alloc) {
-    const auto it = id_to_idx_.find(vm.spec().id);
-    if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
+    VmRuntime* rt = runtime_of(vm.spec().id);
+    if (rt == nullptr || !rt->running) return;
     const double spec_cores = static_cast<double>(vm.spec().vcpus);
     const double fraction =
         spec_cores > 0.0 ? new_alloc[res::Resource::Cpu] / spec_cores : 1.0;
-    runtimes_[it->second].alloc_timeline.emplace_back(now_, fraction);
+    rt->alloc_timeline.emplace_back(now_, fraction);
   });
 
   manager_->subscribe_preemption(
       [this](const hv::VmSpec& spec, std::uint64_t /*host*/) {
-        const auto it = id_to_idx_.find(spec.id);
-        if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
-        runtimes_[it->second].preempted = true;
-        finalize(runtimes_[it->second], now_);
+        VmRuntime* rt = runtime_of(spec.id);
+        if (rt == nullptr || !rt->running) return;
+        rt->preempted = true;
+        finalize(*rt, now_);
       });
 
   // Migrations keep running through a revocation, possibly at a deflated
@@ -154,10 +178,20 @@ TraceDrivenSimulator::TraceDrivenSimulator(std::vector<trace::VmRecord> records,
   manager_->subscribe_migration([this](const hv::VmSpec& spec,
                                       std::uint64_t /*from*/,
                                       std::uint64_t /*to*/, double fraction) {
-    const auto it = id_to_idx_.find(spec.id);
-    if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
-    runtimes_[it->second].alloc_timeline.emplace_back(now_, fraction);
+    VmRuntime* rt = runtime_of(spec.id);
+    if (rt == nullptr || !rt->running) return;
+    rt->alloc_timeline.emplace_back(now_, fraction);
   });
+}
+
+TraceDrivenSimulator::VmRuntime* TraceDrivenSimulator::runtime_of(
+    std::uint64_t id) {
+  if (stream_ != nullptr) {
+    const auto it = active_.find(id);
+    return it == active_.end() ? nullptr : &it->second.rt;
+  }
+  const auto it = id_to_idx_.find(id);
+  return it == id_to_idx_.end() ? nullptr : &runtimes_[it->second];
 }
 
 bool TraceDrivenSimulator::timed_migration() const noexcept {
@@ -179,17 +213,16 @@ void TraceDrivenSimulator::charge_downtime(const VmRuntime& vm,
 
 void TraceDrivenSimulator::track_migration(
     const cluster::MigrationRecord& record) {
-  const auto it = id_to_idx_.find(record.spec.id);
-  if (it == id_to_idx_.end() || !runtimes_[it->second].running) return;
-  VmRuntime& vm = runtimes_[it->second];
+  VmRuntime* rt = runtime_of(record.spec.id);
+  if (rt == nullptr || !rt->running) return;
   // A fresh displacement supersedes any still-queued cutover events from
   // an earlier one (e.g. the destination server is revoked mid-transfer).
-  const std::uint32_t epoch = ++vm.displacement_epoch;
+  const std::uint32_t epoch = ++rt->displacement_epoch;
   // The VM's allocation moves to the destination at stream start (the
   // placement may have deflated it); it pauses for the cutover window and
   // resumes at its destination fraction when the transfer lands. Downtime
   // is billed by the pause event, when the pause is known to happen.
-  vm.alloc_timeline.emplace_back(record.start, record.launch_fraction);
+  rt->alloc_timeline.emplace_back(record.start, record.launch_fraction);
   pending_allocs_.push({record.cutover_begin, record.spec.id, 0.0, epoch,
                         record.cutover_end});
   pending_allocs_.push(
@@ -225,8 +258,7 @@ void TraceDrivenSimulator::charge_never_served(const VmRuntime& vm) {
 }
 
 void TraceDrivenSimulator::apply_admission(
-    std::size_t idx, const cluster::AdmissionDecision& decision) {
-  VmRuntime& vm = runtimes_[idx];
+    VmRuntime& vm, const cluster::AdmissionDecision& decision) {
   if (decision.admitted()) {
     vm.running = true;
     vm.placed_at = now_;
@@ -256,8 +288,7 @@ void TraceDrivenSimulator::apply_admission(
   }
 }
 
-void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
-  VmRuntime& vm = runtimes_[idx];
+void TraceDrivenSimulator::on_vm_start(VmRuntime& vm) {
   cluster::AdmissionRequest request =
       cluster::AdmissionRequest::from_spec(vm.record->to_spec(), now_);
   // A VM admitted at (or after) its departure would never be removed:
@@ -269,7 +300,7 @@ void TraceDrivenSimulator::on_vm_start(std::size_t idx) {
       now_ + sim::SimTime::from_hours(
                  std::max(0.0, admission_->config().max_defer_hours));
   request.deadline = std::max(now_, std::min(window, latest));
-  apply_admission(idx, admission_->decide(request, now_));
+  apply_admission(vm, admission_->decide(request, now_));
 }
 
 void TraceDrivenSimulator::finalize(VmRuntime& vm, sim::SimTime at) {
@@ -332,8 +363,7 @@ void TraceDrivenSimulator::finalize(VmRuntime& vm, sim::SimTime at) {
   }
 }
 
-void TraceDrivenSimulator::on_vm_end(std::size_t idx) {
-  VmRuntime& vm = runtimes_[idx];
+void TraceDrivenSimulator::on_vm_end(VmRuntime& vm) {
   if (!vm.running) return;  // rejected, deferred-in-queue or already preempted
   const bool launched_late = vm.deferred;
   finalize(vm, now_);
@@ -360,31 +390,11 @@ void TraceDrivenSimulator::publish_utilization() {
   }
 }
 
-SimMetrics TraceDrivenSimulator::run() {
-  if (ran_) {
-    throw std::logic_error("TraceDrivenSimulator::run is single-shot");
-  }
-  ran_ = true;
-
-  // Event order at equal timestamps: departures first (frees capacity),
-  // then server restorations (adds capacity), then revocation warnings
-  // (migrations start before the final loss of the tick), then server
-  // revocations (arriving VMs see the reduced fleet), then arrivals; ties
-  // broken by VM id / server id for determinism.
-  struct Event {
-    sim::SimTime at;
-    enum class Kind { VmEnd, Restore, Warn, Revoke, VmStart } kind;
-    std::size_t idx;        ///< VM index or server id
-    sim::SimTime deadline;  ///< Warn only: when the server actually dies
-  };
+std::vector<TraceDrivenSimulator::Event>
+TraceDrivenSimulator::build_plan_events() const {
   std::vector<Event> events;
-  events.reserve(records_.size() * 2 +
-                 (plan_ ? plan_->revocations.size() : 0));
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    events.push_back({records_[i].start, Event::Kind::VmStart, i, {}});
-    events.push_back({records_[i].end, Event::Kind::VmEnd, i, {}});
-  }
   if (plan_) {
+    events.reserve(plan_->revocations.size());
     for (const transient::RevocationEvent& rev : plan_->revocations) {
       events.push_back({rev.at,
                         rev.revoke ? Event::Kind::Revoke : Event::Kind::Restore,
@@ -426,38 +436,98 @@ SimMetrics TraceDrivenSimulator::run() {
     if (a.kind != b.kind) return a.kind < b.kind;
     return a.idx < b.idx;
   });
+  return events;
+}
 
-  const auto handle_revoke = [&](std::size_t server) {
-    if (!timed_migration()) {
-      manager_->revoke_server(server);
-      return;
+void TraceDrivenSimulator::handle_warn(std::size_t server,
+                                       sim::SimTime deadline) {
+  const cluster::WarningResult warned =
+      migration_engine_->begin_warning(server, now_, deadline);
+  for (const cluster::MigrationRecord& record : warned.started) {
+    track_migration(record);
+  }
+  for (const hv::VmSpec& spec : warned.suspended) {
+    VmRuntime* rt = runtime_of(spec.id);
+    if (rt != nullptr && rt->running) {
+      // Checkpointed: paused from now until the deadline resolves
+      // it (restore or kill); supersedes queued cutovers. The
+      // suspension pause is certain, so it bills immediately.
+      ++rt->displacement_epoch;
+      rt->alloc_timeline.emplace_back(now_, 0.0);
+      charge_downtime(*rt, now_, deadline);
     }
-    // Present the still-alive suspended VMs (checkpointed at the warning
-    // for lack of a destination) for one last placement attempt.
-    std::vector<hv::VmSpec> suspended;
-    if (const auto it = suspended_.find(server); it != suspended_.end()) {
-      for (const std::uint64_t id : it->second) {
-        const auto rt = id_to_idx_.find(id);
-        if (rt != id_to_idx_.end() && runtimes_[rt->second].running) {
-          suspended.push_back(runtimes_[rt->second].record->to_spec());
-        }
+    suspended_[server].push_back(spec.id);
+  }
+}
+
+void TraceDrivenSimulator::handle_revoke(std::size_t server) {
+  if (!timed_migration()) {
+    manager_->revoke_server(server);
+    return;
+  }
+  // Present the still-alive suspended VMs (checkpointed at the warning
+  // for lack of a destination) for one last placement attempt.
+  std::vector<hv::VmSpec> suspended;
+  if (const auto it = suspended_.find(server); it != suspended_.end()) {
+    for (const std::uint64_t id : it->second) {
+      VmRuntime* rt = runtime_of(id);
+      if (rt != nullptr && rt->running) {
+        suspended.push_back(rt->record->to_spec());
       }
-      suspended_.erase(it);
     }
-    const cluster::RevocationFinish finish =
-        migration_engine_->finish_revocation(server, now_, suspended);
-    for (const cluster::MigrationRecord& record : finish.restored) {
-      track_migration(record);
-    }
-    for (const hv::VmSpec& spec : finish.killed) {
-      const auto it = id_to_idx_.find(spec.id);
-      if (it == id_to_idx_.end() || !runtimes_[it->second].running) continue;
-      VmRuntime& vm = runtimes_[it->second];
-      vm.preempted = true;
-      charge_unserved_tail(vm, now_);
-      finalize(vm, now_);
-    }
-  };
+    suspended_.erase(it);
+  }
+  const cluster::RevocationFinish finish =
+      migration_engine_->finish_revocation(server, now_, suspended);
+  for (const cluster::MigrationRecord& record : finish.restored) {
+    track_migration(record);
+  }
+  for (const hv::VmSpec& spec : finish.killed) {
+    VmRuntime* rt = runtime_of(spec.id);
+    if (rt == nullptr || !rt->running) continue;
+    rt->preempted = true;
+    charge_unserved_tail(*rt, now_);
+    finalize(*rt, now_);
+  }
+}
+
+void TraceDrivenSimulator::apply_alloc_event(const AllocEvent& alloc) {
+  now_ = std::max(now_, alloc.at);
+  VmRuntime* rt = runtime_of(alloc.vm_id);
+  if (rt != nullptr && rt->running &&
+      rt->displacement_epoch == alloc.epoch) {
+    rt->alloc_timeline.emplace_back(alloc.at, alloc.fraction);
+    // A pause that actually fired bills its window (a superseded one
+    // was dropped by the epoch guard above and costs nothing).
+    charge_downtime(*rt, alloc.at, alloc.pause_until);
+  }
+}
+
+SimMetrics TraceDrivenSimulator::run() {
+  if (ran_) {
+    throw std::logic_error("TraceDrivenSimulator::run is single-shot");
+  }
+  ran_ = true;
+  if (stream_ != nullptr) {
+    run_streaming();
+  } else {
+    run_vector();
+  }
+  return build_metrics();
+}
+
+void TraceDrivenSimulator::run_vector() {
+  std::vector<Event> events = build_plan_events();
+  events.reserve(events.size() + records_.size() * 2);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    events.push_back({records_[i].start, Event::Kind::VmStart, i, {}});
+    events.push_back({records_[i].end, Event::Kind::VmEnd, i, {}});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.idx < b.idx;
+  });
 
   std::size_t next_event = 0;
   while (next_event < events.size() || !pending_allocs_.empty() ||
@@ -481,9 +551,8 @@ SimMetrics TraceDrivenSimulator::run() {
       now_ = std::max(now_, *retry);
       for (const cluster::AdmissionController::Resolved& resolved :
            admission_->drain(now_)) {
-        const auto it = id_to_idx_.find(resolved.request.spec.id);
-        if (it != id_to_idx_.end()) {
-          apply_admission(it->second, resolved.decision);
+        if (VmRuntime* rt = runtime_of(resolved.request.spec.id)) {
+          apply_admission(*rt, resolved.decision);
         }
       }
       continue;
@@ -495,16 +564,7 @@ SimMetrics TraceDrivenSimulator::run() {
          pending_allocs_.top().at <= events[next_event].at)) {
       const AllocEvent alloc = pending_allocs_.top();
       pending_allocs_.pop();
-      now_ = std::max(now_, alloc.at);
-      const auto it = id_to_idx_.find(alloc.vm_id);
-      if (it != id_to_idx_.end() && runtimes_[it->second].running &&
-          runtimes_[it->second].displacement_epoch == alloc.epoch) {
-        runtimes_[it->second].alloc_timeline.emplace_back(alloc.at,
-                                                          alloc.fraction);
-        // A pause that actually fired bills its window (a superseded one
-        // was dropped by the epoch guard above and costs nothing).
-        charge_downtime(runtimes_[it->second], alloc.at, alloc.pause_until);
-      }
+      apply_alloc_event(alloc);
       continue;
     }
     const Event& event = events[next_event++];
@@ -519,33 +579,189 @@ SimMetrics TraceDrivenSimulator::run() {
     }
     now_ = event.at;
     switch (event.kind) {
-      case Event::Kind::VmStart: on_vm_start(event.idx); break;
-      case Event::Kind::VmEnd: on_vm_end(event.idx); break;
-      case Event::Kind::Warn: {
-        const cluster::WarningResult warned =
-            migration_engine_->begin_warning(event.idx, now_, event.deadline);
-        for (const cluster::MigrationRecord& record : warned.started) {
-          track_migration(record);
-        }
-        for (const hv::VmSpec& spec : warned.suspended) {
-          const auto it = id_to_idx_.find(spec.id);
-          if (it != id_to_idx_.end() && runtimes_[it->second].running) {
-            // Checkpointed: paused from now until the deadline resolves
-            // it (restore or kill); supersedes queued cutovers. The
-            // suspension pause is certain, so it bills immediately.
-            ++runtimes_[it->second].displacement_epoch;
-            runtimes_[it->second].alloc_timeline.emplace_back(now_, 0.0);
-            charge_downtime(runtimes_[it->second], now_, event.deadline);
-          }
-          suspended_[event.idx].push_back(spec.id);
-        }
-        break;
-      }
+      case Event::Kind::VmStart: on_vm_start(runtimes_[event.idx]); break;
+      case Event::Kind::VmEnd: on_vm_end(runtimes_[event.idx]); break;
+      case Event::Kind::Warn: handle_warn(event.idx, event.deadline); break;
       case Event::Kind::Revoke: handle_revoke(event.idx); break;
       case Event::Kind::Restore: manager_->restore_server(event.idx); break;
     }
   }
 
+  vm_count_ = records_.size();
+  for (const trace::VmRecord& record : records_) {
+    if (record.deflatable()) ++deflatable_count_;
+  }
+  // Non-admission unserved demand, in committed core-hours: capacity
+  // rejections in full, preempted/killed VMs from their eviction onwards.
+  // (Admission-caused unserved demand is billed into the cost report.)
+  for (const VmRuntime& vm : runtimes_) {
+    const double cores = static_cast<double>(vm.record->vcpus);
+    if (vm.rejected && !vm.expired) {
+      unserved_core_hours_ += cores * vm.record->lifetime().hours();
+    } else if (vm.preempted) {
+      unserved_core_hours_ +=
+          cores *
+          std::max(0.0, (vm.record->end - vm.finished_at).hours());
+    }
+  }
+}
+
+void TraceDrivenSimulator::run_streaming() {
+  // Static events come from three ordered sources merged on the fly:
+  //   * the plan's Restore/Warn/Revoke schedule (a sorted vector),
+  //   * departures of VMs admitted so far (a min-heap fed at arrival),
+  //   * the arrival stream itself (one-record lookahead).
+  // Ids never collide across same-kind sources, so ordering candidates by
+  // (at, kind) reproduces the vector loop's canonical (at, kind, id) order
+  // — which is what keeps streaming results consistent with vector-mode
+  // replays of the same trace.
+  const std::vector<Event> plan_events = build_plan_events();
+  std::size_t next_plan = 0;
+
+  struct EndEvent {
+    sim::SimTime at;
+    std::uint64_t id;
+    [[nodiscard]] bool operator>(const EndEvent& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+  std::priority_queue<EndEvent, std::vector<EndEvent>, std::greater<EndEvent>>
+      ends;
+
+  std::optional<trace::VmRecord> next_arrival = stream_->next();
+
+  constexpr int kSourceEnd = 0, kSourcePlan = 1, kSourceArrival = 2;
+  constexpr int kArrivalRank = static_cast<int>(Event::Kind::VmStart);
+
+  const auto release_vm = [&](std::uint64_t id) {
+    const auto it = active_.find(id);
+    if (it == active_.end()) return;
+    VmRuntime& vm = it->second.rt;
+    on_vm_end(vm);
+    // The vector loop bills non-admission unserved demand in a final pass
+    // over all runtimes; a streaming run cannot revisit released VMs, so
+    // bill it here, before the record leaves memory.
+    const double cores = static_cast<double>(vm.record->vcpus);
+    if (vm.rejected && !vm.expired) {
+      unserved_core_hours_ += cores * vm.record->lifetime().hours();
+    } else if (vm.preempted) {
+      unserved_core_hours_ +=
+          cores * std::max(0.0, (vm.record->end - vm.finished_at).hours());
+    }
+    active_.erase(it);
+  };
+
+  while (true) {
+    // Pick the earliest static event by (at, kind rank).
+    int source = -1;
+    sim::SimTime at;
+    int rank = 0;
+    const auto consider = [&](sim::SimTime t, int k, int s) {
+      if (source < 0 || t < at || (t == at && k < rank)) {
+        at = t;
+        rank = k;
+        source = s;
+      }
+    };
+    if (!ends.empty()) {
+      consider(ends.top().at, static_cast<int>(Event::Kind::VmEnd),
+               kSourceEnd);
+    }
+    if (next_plan < plan_events.size()) {
+      consider(plan_events[next_plan].at,
+               static_cast<int>(plan_events[next_plan].kind), kSourcePlan);
+    }
+    if (next_arrival.has_value()) {
+      consider(next_arrival->start, kArrivalRank, kSourceArrival);
+    }
+    if (source < 0 && pending_allocs_.empty() && !admission_->next_retry()) {
+      break;
+    }
+
+    // Retry/cutover interleaving: identical rules to the vector loop.
+    const sim::SimTime next_static = source >= 0 ? at : sim::SimTime::max();
+    const bool retry_before_static = source < 0 || rank == kArrivalRank;
+    if (const auto retry = admission_->next_retry();
+        retry &&
+        (*retry < next_static ||
+         (*retry == next_static && retry_before_static)) &&
+        (pending_allocs_.empty() || *retry <= pending_allocs_.top().at)) {
+      now_ = std::max(now_, *retry);
+      for (const cluster::AdmissionController::Resolved& resolved :
+           admission_->drain(now_)) {
+        if (VmRuntime* rt = runtime_of(resolved.request.spec.id)) {
+          apply_admission(*rt, resolved.decision);
+        }
+      }
+      continue;
+    }
+    if (!pending_allocs_.empty() &&
+        (source < 0 || pending_allocs_.top().at <= next_static)) {
+      const AllocEvent alloc = pending_allocs_.top();
+      pending_allocs_.pop();
+      apply_alloc_event(alloc);
+      continue;
+    }
+
+    // Tick boundary: same batched view/telemetry cadence as the vector
+    // loop.
+    if (at != now_) {
+      manager_->flush_views();
+      publish_utilization();
+    }
+    now_ = at;
+    switch (source) {
+      case kSourceEnd: {
+        const std::uint64_t id = ends.top().id;
+        ends.pop();
+        release_vm(id);
+        break;
+      }
+      case kSourcePlan: {
+        const Event& event = plan_events[next_plan++];
+        switch (event.kind) {
+          case Event::Kind::Warn:
+            handle_warn(event.idx, event.deadline);
+            break;
+          case Event::Kind::Revoke: handle_revoke(event.idx); break;
+          case Event::Kind::Restore:
+            manager_->restore_server(event.idx);
+            break;
+          default: break;  // plan events are never VmStart/VmEnd
+        }
+        break;
+      }
+      case kSourceArrival: {
+        trace::VmRecord record = std::move(*next_arrival);
+        next_arrival = stream_->next();
+        const std::uint64_t id = record.id;
+        const auto [it, inserted] = active_.try_emplace(id);
+        if (!inserted) {
+          throw std::runtime_error(
+              "trace replay: duplicate vm id " + std::to_string(id) +
+              " in arrival stream");
+        }
+        OwnedVm& owned = it->second;
+        owned.record = std::move(record);
+        owned.rt.record = &owned.record;
+        peak_active_ = std::max(peak_active_, active_.size());
+        ++vm_count_;
+        if (owned.record.deflatable()) ++deflatable_count_;
+        ends.push({owned.record.end, id});
+        on_vm_start(owned.rt);
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // The loop can only exit with `ends` empty (a pending departure keeps a
+  // static source alive), so every admitted VM has been released and
+  // active_ holds nothing but never-materialized entries — there are none.
+}
+
+SimMetrics TraceDrivenSimulator::build_metrics() {
   SimMetrics metrics;
   // The admission controller folds its deferral breakdown into the
   // manager's counters (expired deferrals count as rejections).
@@ -564,23 +780,9 @@ SimMetrics TraceDrivenSimulator::run() {
                 static_cast<double>(stats.reclamation_attempts)
           : 0.0;
 
-  metrics.vm_count = records_.size();
-  for (const trace::VmRecord& record : records_) {
-    if (record.deflatable()) ++metrics.deflatable_count;
-  }
-  // Non-admission unserved demand, in committed core-hours: capacity
-  // rejections in full, preempted/killed VMs from their eviction onwards.
-  // (Admission-caused unserved demand is billed into the cost report.)
-  for (const VmRuntime& vm : runtimes_) {
-    const double cores = static_cast<double>(vm.record->vcpus);
-    if (vm.rejected && !vm.expired) {
-      metrics.unserved_core_hours += cores * vm.record->lifetime().hours();
-    } else if (vm.preempted) {
-      metrics.unserved_core_hours +=
-          cores *
-          std::max(0.0, (vm.record->end - vm.finished_at).hours());
-    }
-  }
+  metrics.vm_count = vm_count_;
+  metrics.deflatable_count = deflatable_count_;
+  metrics.unserved_core_hours = unserved_core_hours_;
   metrics.failure_probability =
       metrics.deflatable_count > 0
           ? static_cast<double>(stats.reclamation_failures) /
@@ -624,8 +826,7 @@ SimMetrics TraceDrivenSimulator::run() {
     metrics.portfolio_expected_cost = plan_->portfolio.expected_cost;
     const transient::TransientMarketEngine engine(config_.market);
     metrics.cost = engine.cost_report(
-        *plan_, config_.server_capacity[res::Resource::Cpu],
-        horizon_of(records_));
+        *plan_, config_.server_capacity[res::Resource::Cpu], horizon_);
     const double on_demand_rate =
         config_.market.effective_markets().front().price.on_demand_price;
     if (migration_engine_) {
@@ -646,11 +847,12 @@ SimMetrics TraceDrivenSimulator::run() {
   metrics.mean_cpu_deflation =
       deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;
 
-  const res::ResourceVector peak = peak_committed(records_);
   const res::ResourceVector capacity = manager_->total_capacity();
   double oc = 0.0;
   for (const res::Resource r : {res::Resource::Cpu, res::Resource::Memory}) {
-    if (capacity[r] > 0.0) oc = std::max(oc, peak[r] / capacity[r] - 1.0);
+    if (capacity[r] > 0.0) {
+      oc = std::max(oc, trace_peak_committed_[r] / capacity[r] - 1.0);
+    }
   }
   metrics.achieved_overcommit = oc;
   return metrics;

@@ -26,6 +26,7 @@
 #include "cluster/pricing.hpp"
 #include "cluster/sharded_manager.hpp"
 #include "cluster/wire.hpp"
+#include "trace/replay.hpp"
 #include "trace/vm_record.hpp"
 #include "transient/market.hpp"
 
@@ -90,6 +91,16 @@ struct SimConfig {
   /// all changes in server utilization". Null (default) publishes
   /// nothing and costs nothing. Non-owning; must outlive run().
   cluster::wire::MessageBus* telemetry_bus = nullptr;
+
+  // --- trace-driven arrivals (src/trace/replay) ---
+  /// When set, `TraceDrivenSimulator(SimConfig)` replaces the materialized
+  /// record vector with a bounded-memory streaming arrival source: VMs are
+  /// generated in time order from the configured trace (Azure, Alibaba or
+  /// a PR-6 capture file), held only while active, and released at
+  /// departure. Results are bit-identical across `replay->window` and
+  /// `worker_threads` (tests/test_trace_replay.cpp). Ignored by the
+  /// record-vector constructor.
+  std::optional<trace::ReplayConfig> replay;
 
   // --- timed migration (src/cluster/migration) ---
   /// With `migration.model.bandwidth_mib_per_sec > 0` (and a deflation-mode
@@ -164,9 +175,27 @@ class TraceDrivenSimulator {
  public:
   TraceDrivenSimulator(std::vector<trace::VmRecord> records, SimConfig config);
 
+  /// Streaming mode: replays arrivals from `stream` (non-owning; must
+  /// outlive the simulator, and must be freshly constructed or reset()).
+  /// Only active VMs are resident; memory is O(active + stream window)
+  /// instead of O(fleet).
+  TraceDrivenSimulator(trace::VmArrivalStream& stream, SimConfig config);
+
+  /// Streaming mode from `config.replay` (the simulator owns the stream).
+  /// Throws std::invalid_argument when `config.replay` is unset.
+  explicit TraceDrivenSimulator(SimConfig config);
+
   /// Replays the whole trace; single-shot (construct a new simulator for
   /// another run).
   SimMetrics run();
+
+  /// Streaming mode: high-water mark of concurrently-resident VM records.
+  /// The megafleet bench gates on this staying far below the stream's
+  /// total size (the bounded-memory claim, made measurable). Zero in
+  /// record-vector mode.
+  [[nodiscard]] std::size_t peak_active_records() const noexcept {
+    return peak_active_;
+  }
 
   // --- sizing helpers --------------------------------------------------------
   /// Peak concurrently-committed resources of the trace (the paper sizes
@@ -219,15 +248,25 @@ class TraceDrivenSimulator {
     std::uint32_t displacement_epoch = 0;
   };
 
-  void on_vm_start(std::size_t idx);
-  void on_vm_end(std::size_t idx);
+  /// Shared constructor tail: market plan, manager, admission controller
+  /// and the manager callbacks. Requires horizon_/peak_committed_ and the
+  /// per-mode VM storage to be initialized.
+  void init_common();
+
+  /// The VM's runtime state, or nullptr when unknown/already released —
+  /// the one lookup both storage modes (record vector / streaming active
+  /// set) sit behind.
+  [[nodiscard]] VmRuntime* runtime_of(std::uint64_t id);
+
+  void on_vm_start(VmRuntime& vm);
+  void on_vm_end(VmRuntime& vm);
   void finalize(VmRuntime& vm, sim::SimTime at);
 
   // --- admission plumbing -----------------------------------------------------
   /// Applies an admission decision (fresh or drained from the deferral
   /// queue) to the VM's runtime: start it, remember the deferral, or
   /// reject it (billing an expired deferral's whole demand as unserved).
-  void apply_admission(std::size_t idx,
+  void apply_admission(VmRuntime& vm,
                        const cluster::AdmissionDecision& decision);
   /// Charges the full usage series of a VM that never ran (expired
   /// deferral) as lost throughput.
@@ -253,6 +292,32 @@ class TraceDrivenSimulator {
   /// Charges the usage a killed VM would have served after `at` as lost
   /// throughput (timed mode only: instant-mode kill semantics unchanged).
   void charge_unserved_tail(const VmRuntime& vm, sim::SimTime at);
+
+  // --- event loop -------------------------------------------------------------
+  /// Static (pre-computable) simulation events. Canonical order at equal
+  /// timestamps: departures free capacity first, then restores add it,
+  /// then revocation warnings (migrations start before the tick's final
+  /// loss), then revocations (arrivals see the reduced fleet), then
+  /// arrivals; ties broken by VM/server id.
+  struct Event {
+    sim::SimTime at;
+    enum class Kind { VmEnd, Restore, Warn, Revoke, VmStart } kind;
+    std::size_t idx;        ///< VM index or server id
+    sim::SimTime deadline;  ///< Warn only: when the server actually dies
+  };
+
+  /// The market plan's Restore/Warn/Revoke events, sorted canonically.
+  [[nodiscard]] std::vector<Event> build_plan_events() const;
+
+  /// Replays the materialized record vector (the classic mode).
+  void run_vector();
+  /// Replays the arrival stream with only active VMs resident.
+  void run_streaming();
+  /// Folds the accumulators into the returned metrics (both modes).
+  [[nodiscard]] SimMetrics build_metrics();
+
+  void handle_warn(std::size_t server, sim::SimTime deadline);
+  void handle_revoke(std::size_t server);
 
   std::vector<trace::VmRecord> records_;
   SimConfig config_;
@@ -292,7 +357,34 @@ class TraceDrivenSimulator {
   std::priority_queue<AllocEvent, std::vector<AllocEvent>,
                       std::greater<AllocEvent>>
       pending_allocs_;
+  /// Applies a due cutover pause/resume to the VM's allocation timeline
+  /// (stale epochs dropped); shared by both event loops.
+  void apply_alloc_event(const AllocEvent& alloc);
   sim::SimTime now_;
+
+  // --- streaming-mode state ---------------------------------------------------
+  /// Arrival source (null in record-vector mode). Non-owning; points at
+  /// owned_stream_ when the SimConfig-level constructor built it.
+  trace::VmArrivalStream* stream_ = nullptr;
+  std::unique_ptr<trace::VmArrivalStream> owned_stream_;
+  /// An active VM: the materialized record plus its runtime. Erased at
+  /// departure — the unordered_map's node-based storage keeps the record
+  /// pointer in VmRuntime stable meanwhile.
+  struct OwnedVm {
+    trace::VmRecord record;
+    VmRuntime rt;
+  };
+  std::unordered_map<std::uint64_t, OwnedVm> active_;
+  std::size_t peak_active_ = 0;
+
+  // --- shared per-run context (set per mode, read by build_metrics) -----------
+  sim::SimTime horizon_;
+  res::ResourceVector trace_peak_committed_;
+  std::uint64_t vm_count_ = 0;
+  std::uint64_t deflatable_count_ = 0;
+  /// Non-admission unserved demand (vector mode: final index-order pass;
+  /// streaming mode: accumulated as VMs are released).
+  double unserved_core_hours_ = 0.0;
 
   // accumulators
   double lost_ = 0.0;

@@ -96,11 +96,8 @@ float sample_interval(const UtilModel& m, double hours_of_day, bool in_burst,
 
 }  // namespace
 
-VmRecord AzureTraceGenerator::generate_vm(std::uint64_t vm_id) const {
-  util::Rng rng = util::Rng::keyed(config_.seed, vm_id);
-  VmRecord record;
-  record.id = vm_id;
-
+double AzureTraceGenerator::draw_arrival(util::Rng& rng,
+                                         VmRecord& record) const {
   // Class label.
   const double class_draw = rng.u01();
   if (class_draw < config_.interactive_share) {
@@ -151,6 +148,26 @@ VmRecord AzureTraceGenerator::generate_vm(std::uint64_t vm_id) const {
   }
   record.start = sim::SimTime::from_hours(start_hours);
   record.end = sim::SimTime::from_hours(start_hours + lifetime_hours);
+  return start_hours;
+}
+
+ArrivalStub AzureTraceGenerator::arrival_of(std::uint64_t vm_id) const {
+  util::Rng rng = util::Rng::keyed(config_.seed, vm_id);
+  VmRecord record;
+  record.id = vm_id;
+  draw_arrival(rng, record);
+  return {record.id, record.start, record.end, record.vcpus,
+          record.memory_mib};
+}
+
+VmRecord AzureTraceGenerator::generate_vm(std::uint64_t vm_id) const {
+  util::Rng rng = util::Rng::keyed(config_.seed, vm_id);
+  VmRecord record;
+  record.id = vm_id;
+  // The series model continues on the same rng the arrival draws consumed
+  // from — the draw sequence is identical to the pre-split generator, so
+  // traces (and every golden pinned on them) are bit-identical.
+  const double start_hours = draw_arrival(rng, record);
 
   // Utilization series.
   const UtilModel model = sample_model(record.workload, rng);

@@ -20,6 +20,10 @@
 
 #include "trace/vm_record.hpp"
 
+namespace deflate::util {
+class Rng;
+}
+
 namespace deflate::trace {
 
 struct AzureTraceConfig {
@@ -60,9 +64,21 @@ class AzureTraceGenerator {
   /// generators and tests build on.
   [[nodiscard]] VmRecord generate_vm(std::uint64_t vm_id) const;
 
+  /// The arrival-side header of `generate_vm(vm_id)` — same class, size and
+  /// lifetime draws, without the utilization series. Costs O(1) instead of
+  /// O(lifetime), which is what lets the streaming replay index a
+  /// million-VM trace without materializing it.
+  [[nodiscard]] ArrivalStub arrival_of(std::uint64_t vm_id) const;
+
   [[nodiscard]] const AzureTraceConfig& config() const noexcept { return config_; }
 
  private:
+  /// Consumes the arrival-side draws (class, size, cohort, lifetime) from
+  /// `rng`, filling the record's header fields. Returns the unquantized
+  /// start in hours: generate_vm's series loop needs the exact double, not
+  /// the micro-rounded record.start, to stay bit-identical.
+  double draw_arrival(util::Rng& rng, VmRecord& record) const;
+
   AzureTraceConfig config_;
 };
 

@@ -1,8 +1,10 @@
 #include "trace/trace_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/csv.hpp"
 
@@ -19,6 +21,70 @@ const char* class_token(hv::WorkloadClass c) {
   return "unknown";
 }
 
+// --- strict field parsing ---
+//
+// std::stoull & friends accept leading whitespace, ignore trailing junk and
+// throw std::invalid_argument / std::out_of_range with no context; a
+// bit-flipped or truncated file deserves a clean std::runtime_error that
+// names the row and field instead. Every helper requires the token to be
+// consumed in full and the value to be finite.
+
+[[noreturn]] void row_error(std::size_t row, const std::string& field,
+                            const std::string& what) {
+  throw std::runtime_error("trace CSV: row " + std::to_string(row) +
+                           ", field '" + field + "': " + what);
+}
+
+template <typename T, typename Parse>
+T parse_field(const std::string& token, std::size_t row,
+              const std::string& field, Parse parse) {
+  std::size_t consumed = 0;
+  T value{};
+  try {
+    value = parse(token, &consumed);
+  } catch (const std::exception&) {
+    row_error(row, field, "unparseable value '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    row_error(row, field, "trailing junk in '" + token + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& t, std::size_t row,
+                        const std::string& field) {
+  if (!t.empty() && t.front() == '-') row_error(row, field, "negative value");
+  return parse_field<std::uint64_t>(
+      t, row, field,
+      [](const std::string& s, std::size_t* n) { return std::stoull(s, n); });
+}
+
+std::int64_t parse_i64(const std::string& t, std::size_t row,
+                       const std::string& field) {
+  return parse_field<std::int64_t>(
+      t, row, field,
+      [](const std::string& s, std::size_t* n) { return std::stoll(s, n); });
+}
+
+int parse_i32(const std::string& t, std::size_t row,
+              const std::string& field) {
+  return parse_field<int>(
+      t, row, field,
+      [](const std::string& s, std::size_t* n) { return std::stoi(s, n); });
+}
+
+double parse_f64(const std::string& t, std::size_t row,
+                 const std::string& field) {
+  const double value = parse_field<double>(
+      t, row, field,
+      [](const std::string& s, std::size_t* n) { return std::stod(s, n); });
+  if (!std::isfinite(value)) row_error(row, field, "non-finite value");
+  return value;
+}
+
+// Unrecognized tokens map to Unknown rather than erroring: the class
+// column is advisory (foreign traces carry labels we don't model), and
+// Unknown already means "no class information".
 hv::WorkloadClass parse_class(const std::string& token) {
   if (token == "interactive") return hv::WorkloadClass::Interactive;
   if (token == "delay-insensitive") return hv::WorkloadClass::DelayInsensitive;
@@ -52,30 +118,58 @@ std::vector<VmRecord> read_trace_csv(std::istream& in) {
   util::CsvReader reader(in);
   std::vector<std::string> row;
   std::vector<VmRecord> records;
+  std::unordered_set<std::uint64_t> seen_ids;
   bool header = true;
+  std::size_t row_index = 0;
   while (reader.read_row(row)) {
+    ++row_index;
     if (header) {  // skip column names
       header = false;
       continue;
     }
-    if (row.size() < 9) {
-      throw std::runtime_error("trace CSV: malformed row");
+    // Exactly nine columns: a short row is a truncation, an extra column a
+    // corruption — both are rejected rather than half-loaded.
+    if (row.size() != 9) {
+      throw std::runtime_error("trace CSV: row " + std::to_string(row_index) +
+                               ": expected 9 fields, got " +
+                               std::to_string(row.size()));
     }
     VmRecord record;
-    record.id = std::stoull(row[0]);
+    record.id = parse_u64(row[0], row_index, "id");
+    if (!seen_ids.insert(record.id).second) {
+      row_error(row_index, "id",
+                "duplicate vm id " + std::to_string(record.id));
+    }
     record.workload = parse_class(row[1]);
-    record.vcpus = std::stoi(row[2]);
-    record.memory_mib = std::stod(row[3]);
-    record.disk_bw_mbps = std::stod(row[4]);
-    record.net_bw_mbps = std::stod(row[5]);
-    record.start = sim::SimTime::from_micros(std::stoll(row[6]));
-    record.end = sim::SimTime::from_micros(std::stoll(row[7]));
+    record.vcpus = parse_i32(row[2], row_index, "vcpus");
+    if (record.vcpus < 1) row_error(row_index, "vcpus", "must be >= 1");
+    record.memory_mib = parse_f64(row[3], row_index, "memory_mib");
+    if (record.memory_mib < 0.0) row_error(row_index, "memory_mib", "negative");
+    record.disk_bw_mbps = parse_f64(row[4], row_index, "disk_bw_mbps");
+    if (record.disk_bw_mbps < 0.0) {
+      row_error(row_index, "disk_bw_mbps", "negative");
+    }
+    record.net_bw_mbps = parse_f64(row[5], row_index, "net_bw_mbps");
+    if (record.net_bw_mbps < 0.0) row_error(row_index, "net_bw_mbps", "negative");
+    const std::int64_t start_us = parse_i64(row[6], row_index, "start_us");
+    const std::int64_t end_us = parse_i64(row[7], row_index, "end_us");
+    if (start_us < 0) row_error(row_index, "start_us", "negative");
+    if (end_us < start_us) row_error(row_index, "end_us", "precedes start_us");
+    record.start = sim::SimTime::from_micros(start_us);
+    record.end = sim::SimTime::from_micros(end_us);
     std::vector<float> samples;
     std::istringstream series(row[8]);
     std::string token;
     while (std::getline(series, token, ';')) {
-      if (!token.empty()) samples.push_back(std::stof(token));
+      if (token.empty()) continue;
+      const double sample = parse_f64(token, row_index, "cpu_series");
+      if (sample < 0.0 || sample > 1.0) {
+        row_error(row_index, "cpu_series",
+                  "utilization sample out of [0,1]: " + token);
+      }
+      samples.push_back(static_cast<float>(sample));
     }
+    if (samples.empty()) row_error(row_index, "cpu_series", "empty series");
     record.cpu = UtilizationSeries(std::move(samples));
     records.push_back(std::move(record));
   }

@@ -22,6 +22,17 @@ enum class PeakBucket { Low, Moderate, High, VeryHigh };
 [[nodiscard]] const char* peak_bucket_name(PeakBucket b) noexcept;
 [[nodiscard]] PeakBucket peak_bucket_for_p95(double p95) noexcept;
 
+/// The cheap arrival-side header of a VmRecord: everything the streaming
+/// replay index (src/trace/replay.hpp) needs to order and size arrivals
+/// without materializing the 5-minute utilization series.
+struct ArrivalStub {
+  std::uint64_t id = 0;
+  sim::SimTime start;
+  sim::SimTime end;
+  int vcpus = 0;
+  double memory_mib = 0.0;
+};
+
 struct VmRecord {
   std::uint64_t id = 0;
   hv::WorkloadClass workload = hv::WorkloadClass::Unknown;

@@ -22,11 +22,21 @@
 //   deflatectl connect --port P [--vms N] [--batch B] [--hours H]
 //               [--seed S] [--shutdown]
 //   deflatectl replay --capture FILE
+//   deflatectl replay-trace [--source azure|alibaba|capture] [--vms N]
+//               [--hours H] [--seed S] [--rate R] [--duration-scale D]
+//               [--window W] [--threads T] [--capture FILE]
+//               [--servers N | --overcommit O] [--shards N]
+//               [--shard-policy p2c|least-loaded|round-robin]
 //
 // `connect` drives a running deflated daemon (tools/deflated.cpp) through
 // the batching client (src/net/client.hpp) and prints the decision
 // breakdown; `replay` re-runs a captured admission session
 // (src/net/capture.hpp) and fails on any decision divergence.
+// `replay-trace` streams a generated (azure/alibaba) or captured arrival
+// trace through the full cluster simulation without ever materializing the
+// fleet (src/trace/replay.hpp): --rate multiplies the offered arrival
+// rate, --duration-scale stretches the horizon, --window/--threads tune
+// the streaming prefetch (never the results).
 //
 // --shards > 1 runs the fleet through the sharded cluster manager
 // (src/cluster/sharded_manager.hpp); 1 (default) is the flat manager.
@@ -73,6 +83,7 @@
 #include "net/client.hpp"
 #include "simcluster/cluster_sim.hpp"
 #include "trace/azure.hpp"
+#include "trace/replay.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -107,7 +118,12 @@ int usage() {
       "             [--defer-hours H] [--bid-opt]\n"
       "  deflatectl connect --port P [--vms N] [--batch B] [--hours H]\n"
       "             [--seed S] [--shutdown]\n"
-      "  deflatectl replay --capture FILE\n";
+      "  deflatectl replay --capture FILE\n"
+      "  deflatectl replay-trace [--source azure|alibaba|capture] [--vms N]\n"
+      "             [--hours H] [--seed S] [--rate R] [--duration-scale D]\n"
+      "             [--window W] [--threads T] [--capture FILE]\n"
+      "             [--servers N | --overcommit O] [--shards N]\n"
+      "             [--shard-policy p2c|least-loaded|round-robin]\n";
   return 1;
 }
 
@@ -700,6 +716,110 @@ int cmd_replay(const CliArgs& args) {
   return report.ok() ? 0 : 1;
 }
 
+// Streams a trace through the full simulation in bounded memory: the
+// arrival stream is built once, sized (server count from the stub-index
+// peak), rewound, and handed to the simulator — the fleet itself is never
+// resident.
+int cmd_replay_trace(const CliArgs& args) {
+  CliValidator validator(args);
+  validator
+      .allow_only({"source", "vms", "hours", "seed", "rate", "duration-scale",
+                   "window", "threads", "capture", "servers", "overcommit",
+                   "shards", "shard-policy"})
+      .require_integer_at_least("vms", 1)
+      .require_at_least("hours", 0.001)
+      .require_at_least("seed", 0)
+      .require_at_least("rate", 1e-6)
+      .require_at_least("duration-scale", 1e-6)
+      .require_integer_at_least("window", 1)
+      .require_integer_at_least("threads", 1)
+      .require_integer_at_least("servers", 1)
+      .require_at_least("overcommit", -0.9)
+      .require_integer_at_least("shards", 1)
+      .check(!(args.has("servers") && args.has("overcommit")),
+             "flags --servers and --overcommit conflict (pick an explicit "
+             "fleet size or derive one from the target overcommitment)");
+  if (report_errors(validator)) return 1;
+
+  trace::ReplayConfig replay;
+  const std::string source = args.get("source", "azure");
+  if (source == "azure") {
+    replay.source = trace::ArrivalSource::Azure;
+    replay.azure.vm_count =
+        static_cast<std::size_t>(args.get_double("vms", 10000));
+    replay.azure.seed = static_cast<std::uint64_t>(args.get_double("seed", 42));
+    replay.azure.duration =
+        sim::SimTime::from_hours(args.get_double("hours", 72));
+  } else if (source == "alibaba") {
+    replay.source = trace::ArrivalSource::Alibaba;
+    replay.alibaba.containers.container_count =
+        static_cast<std::size_t>(args.get_double("vms", 4000));
+    replay.alibaba.containers.seed =
+        static_cast<std::uint64_t>(args.get_double("seed", 2020));
+    replay.alibaba.containers.duration =
+        sim::SimTime::from_hours(args.get_double("hours", 24));
+  } else if (source == "capture") {
+    replay.source = trace::ArrivalSource::Capture;
+    replay.capture.path = args.get("capture", "");
+    replay.capture.seed = static_cast<std::uint64_t>(args.get_double("seed", 7));
+    if (replay.capture.path.empty()) {
+      return flag_error("replay-trace --source capture requires --capture FILE");
+    }
+  } else {
+    return flag_error("flag --source: unknown value '" + source +
+                      "' (expected azure|alibaba|capture)");
+  }
+  replay.rate_multiplier = args.get_double("rate", 1.0);
+  replay.duration_scale = args.get_double("duration-scale", 1.0);
+  replay.window = static_cast<std::size_t>(args.get_double("window", 1024));
+  if (args.has("threads")) {
+    replay.worker_threads =
+        static_cast<std::size_t>(args.get_double("threads", 0));
+  }
+
+  const auto stream = trace::make_arrival_stream(replay);
+
+  simcluster::SimConfig config;
+  if (!apply_shard_flags(args, config)) {
+    return flag_error("flag --shard-policy: unknown value '" +
+                      args.get("shard-policy", "") +
+                      "' (expected p2c|least-loaded|round-robin)");
+  }
+  if (args.has("servers")) {
+    config.server_count =
+        static_cast<std::size_t>(args.get_double("servers", 40));
+  } else {
+    config.server_count = trace::servers_for_overcommit(
+        *stream, config.server_capacity, args.get_double("overcommit", 0.0));
+  }
+
+  simcluster::TraceDrivenSimulator simulator(*stream, config);
+  const auto metrics = simulator.run();
+
+  util::Table table({"metric", "value"});
+  table.add_row({"source", trace::arrival_source_name(replay.source)});
+  table.add_row({"arrivals", std::to_string(stream->size())});
+  table.add_row({"horizon",
+                 util::format_double(stream->horizon().hours(), 1) + " h"});
+  table.add_row({"servers", std::to_string(config.server_count)});
+  table.add_row({"peak resident VMs",
+                 std::to_string(simulator.peak_active_records())});
+  table.add_row({"achieved overcommit",
+                 util::format_double(100 * metrics.achieved_overcommit, 1) + "%"});
+  table.add_row({"failure probability",
+                 util::format_double(100 * metrics.failure_probability, 3) + "%"});
+  table.add_row({"throughput loss",
+                 util::format_double(100 * metrics.throughput_loss, 3) + "%"});
+  table.add_row({"mean cpu deflation",
+                 util::format_double(100 * metrics.mean_cpu_deflation, 2) + "%"});
+  table.add_row({"rejections", std::to_string(metrics.rejections)});
+  table.add_row({"preemptions", std::to_string(metrics.preemptions)});
+  table.add_row({"unserved core-hours",
+                 util::format_double(metrics.unserved_core_hours, 1)});
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -716,6 +836,7 @@ int main(int argc, char** argv) {
     if (command == "revoke-sim") return cmd_revoke_sim(args);
     if (command == "connect") return cmd_connect(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "replay-trace") return cmd_replay_trace(args);
     return usage();
   } catch (const std::invalid_argument& error) {
     // Malformed flag values are usage errors, not runtime failures.
