@@ -1,6 +1,7 @@
 #include "cluster/admission.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace deflate::cluster {
 
@@ -309,6 +310,64 @@ std::unique_ptr<AdmissionController> make_admission_controller(
   }
   return std::make_unique<AdmitAllAdmission>(std::move(config), manager,
                                              std::move(feed));
+}
+
+// --- registry surface -------------------------------------------------------
+
+namespace {
+
+/// Builtin factory: forces the entry's kind onto the caller's config and
+/// dispatches through make_admission_controller — the name picked the
+/// policy, whatever kind the config carried.
+AdmissionSurface::Factory builtin(AdmissionPolicyKind kind) {
+  return [kind](const AdmissionConfig& config, ClusterManagerBase& manager,
+                PriceFeed feed) {
+    AdmissionConfig selected = config;
+    selected.policy = kind;
+    return make_admission_controller(std::move(selected), manager,
+                                     std::move(feed));
+  };
+}
+
+}  // namespace
+
+void AdmissionSurface::register_builtins(
+    policy::PolicyRegistry<AdmissionSurface>& registry) {
+  registry.add("admit-all", "legacy contract: every request placed on arrival",
+               builtin(AdmissionPolicyKind::AdmitAll));
+  registry.add(
+      "price",
+      "defer deflatable classes while the spot quote exceeds the ceiling",
+      builtin(AdmissionPolicyKind::PriceThreshold), {"price-threshold"},
+      {{"default_ceiling", "spot ceiling for classes without one", 0.35},
+       {"max_defer_hours", "deferral window without a deadline", 6.0}});
+  registry.add("bid-opt",
+               "price thresholds supplied by the per-class bid optimizer",
+               builtin(AdmissionPolicyKind::BidOptimized), {"bid-optimized"});
+}
+
+std::unique_ptr<AdmissionController> make_admission_controller_by_name(
+    const std::string& name, const AdmissionConfig& config,
+    ClusterManagerBase& manager, PriceFeed feed) {
+  const auto* entry = AdmissionRegistry::instance().find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(
+        "unknown admission policy '" + name + "' (expected " +
+        policy::joined_policy_names<AdmissionSurface>() + ")");
+  }
+  return entry->make(config, manager, std::move(feed));
+}
+
+std::optional<AdmissionPolicyKind> admission_policy_from_name(
+    const std::string& name) noexcept {
+  if (name == "admit-all") return AdmissionPolicyKind::AdmitAll;
+  if (name == "price" || name == "price-threshold") {
+    return AdmissionPolicyKind::PriceThreshold;
+  }
+  if (name == "bid-opt" || name == "bid-optimized") {
+    return AdmissionPolicyKind::BidOptimized;
+  }
+  return std::nullopt;
 }
 
 }  // namespace deflate::cluster

@@ -46,11 +46,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_manager.hpp"
+#include "policy/registry.hpp"
 #include "sim/time.hpp"
 #include "transient/spot_price.hpp"
 
@@ -282,5 +285,35 @@ class BidOptimizedAdmission final : public PriceThresholdAdmission {
 
 [[nodiscard]] std::unique_ptr<AdmissionController> make_admission_controller(
     AdmissionConfig config, ClusterManagerBase& manager, PriceFeed feed);
+
+/// Registry surface for admission policies — the generalization of PR 6's
+/// net::AdmissionPolicyRegistry (which is now an alias of this registry;
+/// plugins registered through either spelling are the same process-wide
+/// set). Names: admit-all, price, bid-opt.
+struct AdmissionSurface {
+  static constexpr const char* kSurfaceName = "admission";
+  static constexpr const char* kSurfaceDescription =
+      "price-aware request/decision protocol in front of placement";
+  /// Builds a controller over the caller's manager and price feed. The
+  /// config's `policy` kind is advisory — the name picked the entry.
+  using Factory = std::function<std::unique_ptr<AdmissionController>(
+      const AdmissionConfig&, ClusterManagerBase&, PriceFeed)>;
+  static void register_builtins(policy::PolicyRegistry<AdmissionSurface>&);
+};
+
+using AdmissionRegistry = policy::PolicyRegistry<AdmissionSurface>;
+
+/// Builds a registered policy's controller by name; throws
+/// std::invalid_argument naming the valid choices when unknown.
+[[nodiscard]] std::unique_ptr<AdmissionController>
+make_admission_controller_by_name(const std::string& name,
+                                  const AdmissionConfig& config,
+                                  ClusterManagerBase& manager, PriceFeed feed);
+
+/// Reverse mapping from a *registry* name to the legacy enum (the registry
+/// vocabulary admit-all/price/bid-opt differs from admission_policy_name's
+/// admit-all/price-threshold/bid-optimized; both spellings resolve here).
+[[nodiscard]] std::optional<AdmissionPolicyKind> admission_policy_from_name(
+    const std::string& name) noexcept;
 
 }  // namespace deflate::cluster

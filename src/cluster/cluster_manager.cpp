@@ -16,6 +16,10 @@ ClusterManager::ServerNode::ServerNode(std::uint64_t id,
 ClusterManager::ClusterManager(ClusterConfig config)
     : config_(std::move(config)),
       policy_(core::make_policy(config_.policy)),
+      scorer_(make_placement_scorer(
+          config_.placement_name.empty()
+              ? placement_strategy_name(config_.placement)
+              : config_.placement_name)),
       partitions_(config_.partitioned
                       ? ClusterPartitions(config_.server_count, config_.pool_weights)
                       : ClusterPartitions::single_pool(config_.server_count)) {
@@ -188,7 +192,7 @@ PlacementResult ClusterManager::place_with_preemption(
         preemptable, 1e-9);
     views.push_back(view);
   }
-  const auto best = pick_host(config_.placement, demand, views);
+  const auto best = pick_host(*scorer_, demand, views);
   if (!best) {
     ++stats_.rejections;
     result.status = PlacementResult::Status::Rejected;
@@ -254,11 +258,11 @@ PlacementResult ClusterManager::place_vm(const hv::VmSpec& spec) {
     // server fits the demand in free capacity does the reclamation path
     // rank servers by their deflatable headroom.
     if (const auto server = scan_pick_host(
-            config_.placement, demand, scan_, pool_candidates,
+            *scorer_, demand, scan_, pool_candidates,
             ScanFeasibility::FreeCapacity, /*under_pressure=*/false, pool_)) {
       return server;
     }
-    return scan_pick_host(config_.placement, demand, scan_, pool_candidates,
+    return scan_pick_host(*scorer_, demand, scan_, pool_candidates,
                           ScanFeasibility::WithDeflation,
                           /*under_pressure=*/true, pool_);
   };
@@ -421,6 +425,16 @@ res::ResourceVector ClusterManager::total_committed() const {
 
 void ClusterManager::subscribe_deflation(const DeflationCallback& callback) {
   for (auto& node : nodes_) node->controller->subscribe(callback);
+}
+
+void ClusterManager::rebind_placement(const std::string& name) {
+  // make_placement_scorer throws before scorer_ is touched, so a bad name
+  // leaves the current binding in place.
+  scorer_ = make_placement_scorer(name);
+  config_.placement_name = name;
+  if (const auto strategy = placement_strategy_from_name(name)) {
+    config_.placement = *strategy;
+  }
 }
 
 }  // namespace deflate::cluster

@@ -38,8 +38,13 @@ struct ClusterConfig {
   /// transparent vs explicit vs balloon).
   mech::MechanismKind mechanism = mech::MechanismKind::Hybrid;
   /// Host-ranking heuristic (ablation: paper's fitness vs first/best/worst
-  /// fit).
+  /// fit). Thin alias into the placement policy registry; ignored when
+  /// `placement_name` is set.
   PlacementStrategy placement = PlacementStrategy::Fitness;
+  /// Registry name of the placement scorer (PolicySet path). Empty =
+  /// resolve the builtin aliased by `placement`. Unknown names throw
+  /// std::invalid_argument at construction.
+  std::string placement_name;
   /// When false, departures do not trigger reinflation (ablation for the
   /// §5.1.3 reinflation rule).
   bool reinflate_on_departure = true;
@@ -270,6 +275,16 @@ class ClusterManager : public ClusterManagerBase {
   /// shard on its own flush cadence, not per placement.
   [[nodiscard]] FleetAggregate aggregate_free();
 
+  /// Re-resolves the placement scorer from the registry by name (PolicySet
+  /// re-binding). Only call at a tick barrier — between flush_views and the
+  /// next place_vm — so no in-flight placement straddles two policies.
+  /// Throws std::invalid_argument on unknown names (state unchanged).
+  void rebind_placement(const std::string& name);
+
+  [[nodiscard]] const PlacementScorer& placement_scorer() const noexcept {
+    return *scorer_;
+  }
+
  private:
   struct ServerNode {
     explicit ServerNode(std::uint64_t id, const ClusterConfig& config);
@@ -299,6 +314,8 @@ class ClusterManager : public ClusterManagerBase {
 
   ClusterConfig config_;
   std::shared_ptr<core::DeflationPolicy> policy_;
+  /// Resolved placement scorer (registry-backed; see rebind_placement).
+  std::shared_ptr<const PlacementScorer> scorer_;
   std::vector<std::unique_ptr<ServerNode>> nodes_;
   ClusterPartitions partitions_;
   std::unordered_map<std::uint64_t, std::size_t> vm_locations_;

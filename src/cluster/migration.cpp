@@ -2,8 +2,52 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace deflate::cluster {
+
+void MigrationSurface::register_builtins(
+    policy::PolicyRegistry<MigrationSurface>& registry) {
+  registry.add("migrate",
+               "full-footprint pre-copy; a missed deadline kills the VM",
+               [] {
+                 return MigrationStrategy{.deflate_before_transfer = false,
+                                          .checkpoint_fallback = false};
+               });
+  registry.add("deflate",
+               "stream the deflated footprint; a missed deadline kills the VM",
+               [] {
+                 return MigrationStrategy{.deflate_before_transfer = true,
+                                          .checkpoint_fallback = false};
+               });
+  registry.add("hybrid",
+               "deflated transfer + checkpoint-relaunch fallback (the paper's "
+               "deflation + checkpointing hybrid)",
+               [] {
+                 return MigrationStrategy{.deflate_before_transfer = true,
+                                          .checkpoint_fallback = true};
+               });
+}
+
+MigrationStrategy make_migration_strategy(const std::string& name) {
+  const auto* entry = MigrationRegistry::instance().find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(
+        "unknown migration strategy '" + name + "' (expected " +
+        policy::joined_policy_names<MigrationSurface>() + ")");
+  }
+  return entry->make();
+}
+
+MigrationEngineConfig resolve_migration_strategy(MigrationEngineConfig config) {
+  if (!config.strategy_name.empty()) {
+    const MigrationStrategy strategy =
+        make_migration_strategy(config.strategy_name);
+    config.deflate_before_transfer = strategy.deflate_before_transfer;
+    config.checkpoint_fallback = strategy.checkpoint_fallback;
+  }
+  return config;
+}
 
 MigrationEstimate MigrationModel::precopy(double memory_mib,
                                           int concurrent_streams) const {

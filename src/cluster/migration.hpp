@@ -26,11 +26,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster_manager.hpp"
+#include "policy/registry.hpp"
 #include "sim/time.hpp"
 
 namespace deflate::cluster {
@@ -91,8 +94,11 @@ class MigrationModel {
   MigrationModelConfig config_;
 };
 
-struct MigrationEngineConfig {
-  MigrationModelConfig model;
+/// What the engine does inside a revocation warning — the registry-visible
+/// "mode" of the MigrationEngine. The builtin strategies are the paper's
+/// ablation: pure migration, deflated transfer, and the deflation +
+/// checkpointing hybrid.
+struct MigrationStrategy {
   /// Deflate the VM and stream only the deflated footprint (the paper's
   /// answer: a deflated VM migrates inside warnings a full-size VM
   /// cannot). Applies to live transfers and checkpoint fallbacks alike.
@@ -103,6 +109,39 @@ struct MigrationEngineConfig {
   /// missing the deadline is fatal (pure-migration baseline).
   bool checkpoint_fallback = true;
 };
+
+/// Registry surface for migration strategies.
+struct MigrationSurface {
+  static constexpr const char* kSurfaceName = "migration";
+  static constexpr const char* kSurfaceDescription =
+      "what the migration engine does inside a revocation warning";
+  using Factory = std::function<MigrationStrategy()>;
+  static void register_builtins(policy::PolicyRegistry<MigrationSurface>&);
+};
+
+using MigrationRegistry = policy::PolicyRegistry<MigrationSurface>;
+
+/// Resolves a registered strategy by name; throws std::invalid_argument
+/// naming the valid choices when unknown.
+[[nodiscard]] MigrationStrategy make_migration_strategy(
+    const std::string& name);
+
+struct MigrationEngineConfig {
+  MigrationModelConfig model;
+  /// Legacy flag pair; thin alias of MigrationStrategy (ignored when
+  /// `strategy_name` is set).
+  bool deflate_before_transfer = false;
+  bool checkpoint_fallback = true;
+  /// Registry name of the strategy (PolicySet path). Empty = keep the flag
+  /// pair above. Unknown names throw std::invalid_argument when the engine
+  /// is built.
+  std::string strategy_name;
+};
+
+/// Applies `strategy_name` (when set) onto the legacy flag pair; the form
+/// every engine construction site funnels through.
+[[nodiscard]] MigrationEngineConfig resolve_migration_strategy(
+    MigrationEngineConfig config);
 
 /// One in-flight migration: the VM holds resources on the destination from
 /// `start`, pauses during [cutover_begin, cutover_end), and runs on the
@@ -157,7 +196,9 @@ struct MigrationEngineStats {
 class MigrationEngine {
  public:
   MigrationEngine(MigrationEngineConfig config, ClusterManagerBase& manager)
-      : config_(config), model_(config.model), manager_(manager) {}
+      : config_(resolve_migration_strategy(std::move(config))),
+        model_(config_.model),
+        manager_(manager) {}
 
   [[nodiscard]] bool timed() const noexcept { return !model_.instant(); }
 

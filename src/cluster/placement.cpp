@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <stdexcept>
 
 namespace deflate::cluster {
 
@@ -81,28 +82,153 @@ const char* placement_strategy_name(PlacementStrategy s) noexcept {
   return "?";
 }
 
+// --- builtin scorers --------------------------------------------------------
+
+namespace {
+
+/// §5.2 cosine fitness (pressure-aware). The only builtin whose span-path
+/// ties break by host id: its sentinel-free score range (>= 0) made the
+/// historical tie branch reachable, and golden runs pin that order.
+class FitnessScorer final : public PlacementScorer {
+ public:
+  [[nodiscard]] Order order() const noexcept override {
+    return Order::HigherBetter;
+  }
+  [[nodiscard]] bool prefer_lower_id_on_tie() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] double score(const res::ResourceVector& demand,
+                             const HostView& host,
+                             bool under_pressure) const override {
+    return under_pressure ? pressure_fitness(demand, host)
+                          : fitness(demand, host);
+  }
+};
+
+class FirstFitScorer final : public PlacementScorer {
+ public:
+  [[nodiscard]] Order order() const noexcept override { return Order::ById; }
+  [[nodiscard]] double score(const res::ResourceVector&, const HostView&,
+                             bool) const override {
+    return 0.0;
+  }
+};
+
+class BestFitScorer final : public PlacementScorer {
+ public:
+  [[nodiscard]] Order order() const noexcept override {
+    return Order::LowerBetter;
+  }
+  [[nodiscard]] double score(const res::ResourceVector& demand,
+                             const HostView& host, bool) const override {
+    return leftover_score(demand, host);
+  }
+};
+
+class WorstFitScorer final : public PlacementScorer {
+ public:
+  [[nodiscard]] Order order() const noexcept override {
+    return Order::HigherBetter;
+  }
+  [[nodiscard]] double score(const res::ResourceVector& demand,
+                             const HostView& host, bool) const override {
+    return leftover_score(demand, host);
+  }
+};
+
+const FitnessScorer kFitnessScorer;
+const FirstFitScorer kFirstFitScorer;
+const BestFitScorer kBestFitScorer;
+const WorstFitScorer kWorstFitScorer;
+
+/// Non-owning handle to a static builtin (registry factories return
+/// shared_ptr so plugins may hand out owned instances).
+std::shared_ptr<const PlacementScorer> borrow(const PlacementScorer& scorer) {
+  return {std::shared_ptr<const PlacementScorer>{}, &scorer};
+}
+
+}  // namespace
+
+const PlacementScorer& builtin_placement_scorer(PlacementStrategy s) noexcept {
+  switch (s) {
+    case PlacementStrategy::Fitness: return kFitnessScorer;
+    case PlacementStrategy::FirstFit: return kFirstFitScorer;
+    case PlacementStrategy::BestFit: return kBestFitScorer;
+    case PlacementStrategy::WorstFit: return kWorstFitScorer;
+  }
+  return kFitnessScorer;
+}
+
+void PlacementSurface::register_builtins(
+    policy::PolicyRegistry<PlacementSurface>& registry) {
+  registry.add("fitness",
+               "cosine fitness vs deflation-aware availability (paper §5.2); "
+               "pressure-aware",
+               [] { return borrow(kFitnessScorer); });
+  registry.add("first-fit", "lowest feasible host id",
+               [] { return borrow(kFirstFitScorer); });
+  registry.add("best-fit", "least leftover capacity (tightest pack)",
+               [] { return borrow(kBestFitScorer); });
+  registry.add("worst-fit", "most leftover capacity (max spreading)",
+               [] { return borrow(kWorstFitScorer); });
+}
+
+std::shared_ptr<const PlacementScorer> make_placement_scorer(
+    const std::string& name) {
+  const auto* entry = PlacementRegistry::instance().find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(
+        "unknown placement policy '" + name + "' (expected " +
+        policy::joined_policy_names<PlacementSurface>() + ")");
+  }
+  return entry->make();
+}
+
+std::optional<PlacementStrategy> placement_strategy_from_name(
+    const std::string& name) noexcept {
+  for (const PlacementStrategy s :
+       {PlacementStrategy::Fitness, PlacementStrategy::FirstFit,
+        PlacementStrategy::BestFit, PlacementStrategy::WorstFit}) {
+    if (name == placement_strategy_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
 std::optional<std::size_t> pick_host(PlacementStrategy strategy,
                                      const res::ResourceVector& demand,
                                      std::span<const HostView> hosts,
                                      bool under_pressure) {
-  if (strategy == PlacementStrategy::Fitness) {
-    return pick_best_host(demand, hosts, under_pressure);
-  }
+  return pick_host(builtin_placement_scorer(strategy), demand, hosts,
+                   under_pressure);
+}
+
+std::optional<std::size_t> pick_host(const PlacementScorer& scorer,
+                                     const res::ResourceVector& demand,
+                                     std::span<const HostView> hosts,
+                                     bool under_pressure) {
+  const PlacementScorer::Order order = scorer.order();
   std::optional<std::size_t> best;
   double best_score = 0.0;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     if (!hosts[i].feasible) continue;
-    if (strategy == PlacementStrategy::FirstFit) {
+    if (order == PlacementScorer::Order::ById) {
       if (!best || hosts[i].host_id < hosts[*best].host_id) best = i;
       continue;
     }
-    const double leftover = leftover_score(demand, hosts[i]);
-    const bool better = strategy == PlacementStrategy::BestFit
-                            ? (!best || leftover < best_score)
-                            : (!best || leftover > best_score);
+    const double s = scorer.score(demand, hosts[i], under_pressure);
+    bool better = false;
+    if (!best) {
+      better = true;
+    } else if (s != best_score) {
+      better = order == PlacementScorer::Order::HigherBetter ? s > best_score
+                                                             : s < best_score;
+    } else {
+      better = scorer.prefer_lower_id_on_tie() &&
+               hosts[i].host_id < hosts[*best].host_id;
+    }
     if (better) {
       best = i;
-      best_score = leftover;
+      best_score = s;
     }
   }
   return best;
@@ -162,19 +288,20 @@ struct ScanBest {
 
 /// Strict total order on (score, host id): exactly the serial pick_host
 /// preference, so merging chunk winners in *any* order yields the same
-/// final answer as one serial sweep.
-bool scan_better(PlacementStrategy strategy, double score, std::size_t host,
+/// final answer as one serial sweep. Ties always break by lowest host id
+/// here — the scan's determinism contract — even for scorers whose span
+/// path keeps the first-seen winner.
+bool scan_better(PlacementScorer::Order order, double score, std::size_t host,
                  const ScanBest& best) {
   if (!best.valid) return true;
-  switch (strategy) {
-    case PlacementStrategy::Fitness:
-    case PlacementStrategy::WorstFit:
+  switch (order) {
+    case PlacementScorer::Order::HigherBetter:
       if (score != best.score) return score > best.score;
       return host < best.host;
-    case PlacementStrategy::BestFit:
+    case PlacementScorer::Order::LowerBetter:
       if (score != best.score) return score < best.score;
       return host < best.host;
-    case PlacementStrategy::FirstFit:
+    case PlacementScorer::Order::ById:
       return host < best.host;
   }
   return false;
@@ -189,6 +316,18 @@ std::optional<std::size_t> scan_pick_host(PlacementStrategy strategy,
                                           ScanFeasibility feasibility,
                                           bool under_pressure,
                                           util::ThreadPool* pool) {
+  return scan_pick_host(builtin_placement_scorer(strategy), demand, table,
+                        candidates, feasibility, under_pressure, pool);
+}
+
+std::optional<std::size_t> scan_pick_host(const PlacementScorer& scorer,
+                                          const res::ResourceVector& demand,
+                                          const HostScanTable& table,
+                                          std::span<const std::size_t> candidates,
+                                          ScanFeasibility feasibility,
+                                          bool under_pressure,
+                                          util::ThreadPool* pool) {
+  const PlacementScorer::Order order = scorer.order();
   const auto evaluate = [&](std::size_t begin, std::size_t end,
                             ScanBest& best) {
     for (std::size_t c = begin; c < end; ++c) {
@@ -202,16 +341,10 @@ std::optional<std::size_t> scan_pick_host(PlacementStrategy strategy,
         if (!need.all_leq(table.deflatable_of(server), 1e-9)) continue;
       }
       double score = 0.0;
-      if (strategy != PlacementStrategy::FirstFit) {
-        const HostView view = table.view_of(server);
-        if (strategy == PlacementStrategy::Fitness) {
-          score = under_pressure ? pressure_fitness(demand, view)
-                                 : fitness(demand, view);
-        } else {
-          score = leftover_score(demand, view);
-        }
+      if (order != PlacementScorer::Order::ById) {
+        score = scorer.score(demand, table.view_of(server), under_pressure);
       }
-      if (scan_better(strategy, score, server, best)) {
+      if (scan_better(order, score, server, best)) {
         best = {score, server, true};
       }
     }
@@ -233,7 +366,7 @@ std::optional<std::size_t> scan_pick_host(PlacementStrategy strategy,
                          evaluate(begin, end, local);
                          if (!local.valid) return;
                          std::scoped_lock lock(merge_mutex);
-                         if (scan_better(strategy, local.score, local.host,
+                         if (scan_better(order, local.score, local.host,
                                          best)) {
                            best = local;
                          }

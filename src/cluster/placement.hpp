@@ -10,10 +10,14 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "policy/registry.hpp"
 #include "resources/resource_vector.hpp"
 #include "util/thread_pool.hpp"
 
@@ -57,16 +61,76 @@ struct HostView {
 
 /// Placement-strategy ablation (DESIGN.md §5): the paper's fitness policy
 /// vs the classic bin-packing heuristics it competes with (§5.2 "policies
-/// such as best-fit or first-fit can be used").
+/// such as best-fit or first-fit can be used"). Kept as a thin alias over
+/// the placement policy registry: every enum value maps to a registered
+/// builtin scorer, and all legacy config paths resolve through it.
 enum class PlacementStrategy { Fitness, FirstFit, BestFit, WorstFit };
 
 [[nodiscard]] const char* placement_strategy_name(PlacementStrategy s) noexcept;
+
+/// Strategy object behind PlacementStrategy: scores one (demand, host)
+/// pair; the shared selection loops (pick_host / scan_pick_host) own the
+/// feasibility mask and the deterministic tie order. Scorers are stateless
+/// and shared across threads.
+class PlacementScorer {
+ public:
+  /// How the selection loop ranks scores. ById skips scoring entirely
+  /// (FirstFit: lowest host id wins).
+  enum class Order { HigherBetter, LowerBetter, ById };
+
+  virtual ~PlacementScorer() = default;
+
+  [[nodiscard]] virtual Order order() const noexcept = 0;
+
+  /// Whether the span-path loop breaks score ties by lower host id.
+  /// Historically only Fitness did (BestFit/WorstFit keep the first-seen
+  /// winner); the SoA scan path *always* ties by id regardless — that
+  /// total order is what makes the chunked scan thread-count invariant.
+  [[nodiscard]] virtual bool prefer_lower_id_on_tie() const noexcept {
+    return false;
+  }
+
+  [[nodiscard]] virtual double score(const res::ResourceVector& demand,
+                                     const HostView& host,
+                                     bool under_pressure) const = 0;
+};
+
+/// Registry surface for placement scoring policies.
+struct PlacementSurface {
+  static constexpr const char* kSurfaceName = "placement";
+  static constexpr const char* kSurfaceDescription =
+      "VM placement scoring over the host scan table";
+  using Factory = std::function<std::shared_ptr<const PlacementScorer>()>;
+  static void register_builtins(policy::PolicyRegistry<PlacementSurface>&);
+};
+
+using PlacementRegistry = policy::PolicyRegistry<PlacementSurface>;
+
+/// The builtin scorer a legacy enum value aliases (static lifetime).
+[[nodiscard]] const PlacementScorer& builtin_placement_scorer(
+    PlacementStrategy s) noexcept;
+
+/// Resolves a registered scorer by name; throws std::invalid_argument
+/// naming the valid choices when unknown.
+[[nodiscard]] std::shared_ptr<const PlacementScorer> make_placement_scorer(
+    const std::string& name);
+
+/// Reverse mapping for the legacy-enum config surfaces (nullopt for
+/// plugin-registered names that have no enum alias).
+[[nodiscard]] std::optional<PlacementStrategy> placement_strategy_from_name(
+    const std::string& name) noexcept;
 
 /// Strategy-parameterized host selection over the same feasibility mask:
 ///   FirstFit — lowest host id; BestFit — least leftover capacity (tightest
 ///   pack); WorstFit — most leftover capacity (max spreading).
 [[nodiscard]] std::optional<std::size_t> pick_host(
     PlacementStrategy strategy, const res::ResourceVector& demand,
+    std::span<const HostView> hosts, bool under_pressure = false);
+
+/// Scorer-driven selection; the enum overload forwards here with the
+/// builtin scorer, bit-identical per strategy.
+[[nodiscard]] std::optional<std::size_t> pick_host(
+    const PlacementScorer& scorer, const res::ResourceVector& demand,
     std::span<const HostView> hosts, bool under_pressure = false);
 
 /// SoA (structure-of-arrays) per-server scan storage: one dense column per
@@ -111,6 +175,15 @@ enum class ScanFeasibility { FreeCapacity, WithDeflation };
 /// bit-identical for any thread count — including zero (serial).
 [[nodiscard]] std::optional<std::size_t> scan_pick_host(
     PlacementStrategy strategy, const res::ResourceVector& demand,
+    const HostScanTable& table, std::span<const std::size_t> candidates,
+    ScanFeasibility feasibility, bool under_pressure,
+    util::ThreadPool* pool = nullptr);
+
+/// Scorer-driven scan; the enum overload forwards here with the builtin
+/// scorer. Ties always break by lowest host id (the scan's total order),
+/// independent of the scorer's span-path tie preference.
+[[nodiscard]] std::optional<std::size_t> scan_pick_host(
+    const PlacementScorer& scorer, const res::ResourceVector& demand,
     const HostScanTable& table, std::span<const std::size_t> candidates,
     ScanFeasibility feasibility, bool under_pressure,
     util::ThreadPool* pool = nullptr);

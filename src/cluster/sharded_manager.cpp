@@ -17,6 +17,98 @@ const char* shard_selection_name(ShardSelectionPolicy p) noexcept {
   return "?";
 }
 
+void ShardSelector::push_if_fits(const ShardScores& scores, std::size_t shard,
+                                 std::vector<std::size_t>& picks) {
+  if (scores.score(shard) >= 1.0 &&
+      std::find(picks.begin(), picks.end(), shard) == picks.end()) {
+    picks.push_back(shard);
+  }
+}
+
+// --- builtin shard selectors ------------------------------------------------
+
+namespace {
+
+/// Two uniform draws from the routing stream (second excludes the first),
+/// best of the two by cached score first. Draw order and a_first's >= tie
+/// preference are pinned by the golden/parity suites.
+class PowerOfTwoSelector final : public ShardSelector {
+ public:
+  void route(const ShardScores& scores, util::Rng& rng,
+             std::vector<std::size_t>& picks) override {
+    const std::size_t n = scores.count();
+    if (n < 2) return;
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (b >= a) ++b;  // distinct second choice, uniform over the rest
+    const bool a_first = scores.score(a) >= scores.score(b);
+    push_if_fits(scores, a_first ? a : b, picks);
+    push_if_fits(scores, a_first ? b : a, picks);
+  }
+};
+
+/// Proposes nothing: the score-sorted fallback tail IS least-loaded order.
+class LeastLoadedSelector final : public ShardSelector {
+ public:
+  void route(const ShardScores&, util::Rng&,
+             std::vector<std::size_t>&) override {}
+};
+
+/// Rotates through shards regardless of load; the cursor lives in the
+/// selector, so re-binding the policy resets the rotation.
+class RoundRobinSelector final : public ShardSelector {
+ public:
+  void route(const ShardScores& scores, util::Rng&,
+             std::vector<std::size_t>& picks) override {
+    const std::size_t n = scores.count();
+    if (n == 0) return;
+    const std::size_t start = next_++ % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      push_if_fits(scores, (start + i) % n, picks);
+    }
+  }
+
+ private:
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+void ShardSelectionSurface::register_builtins(
+    policy::PolicyRegistry<ShardSelectionSurface>& registry) {
+  registry.add("p2c",
+               "power-of-two-choices: two random shards, best cached score "
+               "wins",
+               [] { return std::make_unique<PowerOfTwoSelector>(); },
+               {"power-of-two"});
+  registry.add("least-loaded", "best cached aggregate score, O(shards)",
+               [] { return std::make_unique<LeastLoadedSelector>(); });
+  registry.add("round-robin", "rotate through shards regardless of load",
+               [] { return std::make_unique<RoundRobinSelector>(); });
+}
+
+std::unique_ptr<ShardSelector> make_shard_selector(const std::string& name) {
+  const auto* entry = ShardSelectionRegistry::instance().find(name);
+  if (entry == nullptr) {
+    throw std::invalid_argument(
+        "unknown shard-selection policy '" + name + "' (expected " +
+        policy::joined_policy_names<ShardSelectionSurface>() + ")");
+  }
+  return entry->make();
+}
+
+std::optional<ShardSelectionPolicy> shard_selection_from_name(
+    const std::string& name) noexcept {
+  if (name == "p2c" || name == "power-of-two") {
+    return ShardSelectionPolicy::PowerOfTwoChoices;
+  }
+  if (name == "least-loaded") return ShardSelectionPolicy::LeastLoaded;
+  if (name == "round-robin") return ShardSelectionPolicy::RoundRobin;
+  return std::nullopt;
+}
+
 namespace {
 
 /// Largest shard count the fleet supports: every shard needs at least one
@@ -47,7 +139,11 @@ std::unique_ptr<ClusterManagerBase> make_cluster_manager(
 ShardedClusterManager::ShardedClusterManager(ShardedClusterConfig config)
     : config_(std::move(config)),
       total_servers_(config_.cluster.server_count),
-      routing_rng_(util::Rng::keyed(config_.routing_seed, /*stream=*/0x5a4d)) {
+      routing_rng_(util::Rng::keyed(config_.routing_seed, /*stream=*/0x5a4d)),
+      selector_(make_shard_selector(
+          config_.selection_name.empty()
+              ? shard_selection_name(config_.selection)
+              : config_.selection_name)) {
   const std::size_t shard_count = clamp_shard_count(config_);
   if (config_.worker_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(config_.worker_threads);
@@ -154,43 +250,51 @@ double ShardedClusterManager::shard_score(const Shard& shard,
   return any_dimension ? score : shard.free.norm();
 }
 
+namespace {
+
+/// Zero-copy ShardScores adapter over the scheduler's cached aggregates;
+/// lives on route_picks' stack for one placement.
+class CachedShardScores final : public ShardScores {
+ public:
+  using ScoreFn = double (*)(const void*, std::size_t,
+                             const res::ResourceVector&);
+  CachedShardScores(const void* shards, std::size_t count,
+                    const res::ResourceVector& demand, ScoreFn fn) noexcept
+      : shards_(shards), count_(count), demand_(demand), fn_(fn) {}
+  [[nodiscard]] std::size_t count() const noexcept override { return count_; }
+  [[nodiscard]] double score(std::size_t shard) const override {
+    return fn_(shards_, shard, demand_);
+  }
+
+ private:
+  const void* shards_;
+  std::size_t count_;
+  const res::ResourceVector& demand_;
+  ScoreFn fn_;
+};
+
+}  // namespace
+
 std::vector<std::size_t> ShardedClusterManager::route_picks(
     const res::ResourceVector& demand) {
-  const std::size_t n = shards_.size();
+  const CachedShardScores scores(
+      shards_.data(), shards_.size(), demand,
+      [](const void* shards, std::size_t s, const res::ResourceVector& d) {
+        return shard_score(static_cast<const Shard*>(shards)[s], d);
+      });
   std::vector<std::size_t> picks;
-  // A policy pick only jumps the queue when its cached aggregate fits the
-  // demand (score >= 1); otherwise it competes in the score-sorted tail.
-  const auto push_if_fits = [&](std::size_t s) {
-    if (shard_score(shards_[s], demand) >= 1.0 &&
-        std::find(picks.begin(), picks.end(), s) == picks.end()) {
-      picks.push_back(s);
-    }
-  };
-
-  switch (config_.selection) {
-    case ShardSelectionPolicy::PowerOfTwoChoices: {
-      if (n >= 2) {
-        const auto a = static_cast<std::size_t>(
-            routing_rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
-        auto b = static_cast<std::size_t>(
-            routing_rng_.uniform_int(0, static_cast<std::int64_t>(n) - 2));
-        if (b >= a) ++b;  // distinct second choice, uniform over the rest
-        const bool a_first =
-            shard_score(shards_[a], demand) >= shard_score(shards_[b], demand);
-        push_if_fits(a_first ? a : b);
-        push_if_fits(a_first ? b : a);
-      }
-      break;
-    }
-    case ShardSelectionPolicy::RoundRobin: {
-      const std::size_t start = round_robin_next_++ % n;
-      for (std::size_t i = 0; i < n; ++i) push_if_fits((start + i) % n);
-      break;
-    }
-    case ShardSelectionPolicy::LeastLoaded:
-      break;  // the score-sorted tail IS least-loaded order
-  }
+  selector_->route(scores, routing_rng_, picks);
   return picks;
+}
+
+void ShardedClusterManager::rebind_shard_selection(const std::string& name) {
+  // make_shard_selector throws before selector_ is touched, so a bad name
+  // leaves the current binding (and its state) in place.
+  selector_ = make_shard_selector(name);
+  config_.selection_name = name;
+  if (const auto policy = shard_selection_from_name(name)) {
+    config_.selection = *policy;
+  }
 }
 
 std::vector<std::size_t> ShardedClusterManager::route_tail(

@@ -25,11 +25,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_manager.hpp"
+#include "policy/registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -37,7 +41,9 @@ namespace deflate::cluster {
 
 /// How the scheduler picks the shard that gets to attempt a placement
 /// first. All policies fall back to the remaining shards (ordered by
-/// cached aggregate capacity) when the preferred shard rejects.
+/// cached aggregate capacity) when the preferred shard rejects. Thin alias
+/// over the shard-selection policy registry (every value maps to a
+/// registered builtin ShardSelector).
 enum class ShardSelectionPolicy {
   /// Sample two distinct shards, route to the one whose cached aggregate
   /// fits more copies of the demand. O(1) per placement and within a
@@ -51,12 +57,68 @@ enum class ShardSelectionPolicy {
 
 [[nodiscard]] const char* shard_selection_name(ShardSelectionPolicy p) noexcept;
 
+/// Read-only per-shard routing scores for one placement. score(s) is how
+/// many copies of the demand shard s's cached aggregate could hold (the
+/// scheduler's shard_score); >= 1.0 means the shard fits the demand.
+class ShardScores {
+ public:
+  virtual ~ShardScores() = default;
+  [[nodiscard]] virtual std::size_t count() const noexcept = 0;
+  [[nodiscard]] virtual double score(std::size_t shard) const = 0;
+};
+
+/// Strategy object behind ShardSelectionPolicy: appends the shards that
+/// should attempt the placement ahead of the score-sorted fallback tail,
+/// in preference order, via push_if_fits (which enforces the shared
+/// contract: a pick must fit the demand and may not repeat). Selectors may
+/// hold per-manager state (round-robin's cursor); randomness always comes
+/// from the scheduler's routing rng so the deterministic routing stream is
+/// policy-owned, never selector-owned.
+class ShardSelector {
+ public:
+  virtual ~ShardSelector() = default;
+  virtual void route(const ShardScores& scores, util::Rng& rng,
+                     std::vector<std::size_t>& picks) = 0;
+
+ protected:
+  /// A policy pick only jumps the fallback queue when its cached aggregate
+  /// fits the demand (score >= 1); duplicates are dropped.
+  static void push_if_fits(const ShardScores& scores, std::size_t shard,
+                           std::vector<std::size_t>& picks);
+};
+
+/// Registry surface for shard-selection policies. Factories build a fresh
+/// selector per scheduler (selectors may be stateful).
+struct ShardSelectionSurface {
+  static constexpr const char* kSurfaceName = "shard-selection";
+  static constexpr const char* kSurfaceDescription =
+      "which shard attempts a placement first (sharded scheduler routing)";
+  using Factory = std::function<std::unique_ptr<ShardSelector>()>;
+  static void register_builtins(policy::PolicyRegistry<ShardSelectionSurface>&);
+};
+
+using ShardSelectionRegistry = policy::PolicyRegistry<ShardSelectionSurface>;
+
+/// Builds a registered selector by name (aliases accepted); throws
+/// std::invalid_argument naming the valid choices when unknown.
+[[nodiscard]] std::unique_ptr<ShardSelector> make_shard_selector(
+    const std::string& name);
+
+/// Reverse mapping for the legacy-enum config surfaces (nullopt for
+/// plugin-registered names that have no enum alias).
+[[nodiscard]] std::optional<ShardSelectionPolicy> shard_selection_from_name(
+    const std::string& name) noexcept;
+
 struct ShardedClusterConfig {
   /// Fleet-wide configuration; `cluster.server_count` is the total fleet
   /// size, split near-evenly across shards.
   ClusterConfig cluster;
   std::size_t shard_count = 16;
   ShardSelectionPolicy selection = ShardSelectionPolicy::PowerOfTwoChoices;
+  /// Registry name of the shard selector (PolicySet path; plugins land
+  /// here). Empty = resolve the builtin aliased by `selection`. Unknown
+  /// names throw std::invalid_argument at construction.
+  std::string selection_name;
   /// Seed of the (deterministic) routing stream used by power-of-two
   /// sampling; independent of the market / trace seeds.
   std::uint64_t routing_seed = 42;
@@ -135,6 +197,13 @@ class ShardedClusterManager : public ClusterManagerBase {
   /// refreshed aggregates are identical for any thread count.
   void flush_views() override;
 
+  /// Re-resolves the shard selector from the registry by name (PolicySet
+  /// re-binding). Only call at a tick barrier — selector state (e.g. the
+  /// round-robin cursor) resets, and no in-flight placement may straddle
+  /// two policies. Throws std::invalid_argument on unknown names (state
+  /// unchanged).
+  void rebind_shard_selection(const std::string& name);
+
   // --- shard topology (introspection / tests) -------------------------------
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
@@ -191,7 +260,9 @@ class ShardedClusterManager : public ClusterManagerBase {
   std::vector<std::size_t> dirty_queue_;
   std::unordered_map<std::uint64_t, std::size_t> vm_shard_;
   util::Rng routing_rng_;
-  std::size_t round_robin_next_ = 0;
+  /// Registry-resolved routing policy (owns its own state, e.g. the
+  /// round-robin cursor); see rebind_shard_selection.
+  std::unique_ptr<ShardSelector> selector_;
   /// Stats increments from failed shard attempts that were routing noise
   /// (the placement landed elsewhere, or duplicated a rejection already
   /// charged to the first attempt): subtracted from the per-shard sums so

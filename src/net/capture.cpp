@@ -79,6 +79,8 @@ std::string encode_capture_header(const ServiceConfig& config) {
        {"servers", std::to_string(config.server_count)},
        {"shards", std::to_string(config.shard_count)},
        {"shard_policy", shard_policy_token(config.shard_policy)},
+       {"shard_policy_name", config.shard_policy_name},
+       {"placement", config.placement_policy},
        {"routing_seed", std::to_string(config.routing_seed)},
        {"admission", config.admission_policy},
        {"ceilings", join_ceilings(config.admission.class_ceilings)},
@@ -139,6 +141,14 @@ std::optional<ServiceConfig> decode_capture_header(const std::string& line) {
   config.server_count = static_cast<std::size_t>(servers);
   config.shard_count = static_cast<std::size_t>(shards);
   config.shard_policy = *shard_policy;
+  // Registry-name fields (absent in pre-policy-layer captures; replaying
+  // those keeps the enum-selected behavior, bit-identical).
+  if (const auto it = fields->find("shard_policy_name"); it != fields->end()) {
+    config.shard_policy_name = it->second;
+  }
+  if (const auto it = fields->find("placement"); it != fields->end()) {
+    config.placement_policy = it->second;
+  }
   config.routing_seed = routing_seed;
   config.admission_policy = admission_it->second;
   config.price_seed = price_seed;

@@ -177,6 +177,12 @@ struct PayloadEncoder {
     w.str(m.admission_policy);
     w.u32(static_cast<std::uint32_t>(m.policies.size()));
     for (const std::string& name : m.policies) w.str(name);
+    w.u32(static_cast<std::uint32_t>(m.surfaces.size()));
+    for (const PolicySurface& surface : m.surfaces) {
+      w.str(surface.surface);
+      w.u32(static_cast<std::uint32_t>(surface.policies.size()));
+      for (const std::string& name : surface.policies) w.str(name);
+    }
   }
   void operator()(const ErrorMsg& m) {
     w.u32(m.code);
@@ -244,6 +250,20 @@ std::optional<Message> decode_payload(MsgType type, const std::uint8_t* data,
         std::string name;
         ok = r.str(name);
         if (ok) m.policies.push_back(std::move(name));
+      }
+      std::uint32_t surface_count = 0;
+      ok = ok && r.u32(surface_count) && surface_count <= kMaxHelloSurfaces;
+      for (std::uint32_t s = 0; ok && s < surface_count; ++s) {
+        PolicySurface surface;
+        std::uint32_t policy_count = 0;
+        ok = r.str(surface.surface) && r.u32(policy_count) &&
+             policy_count <= 4096;
+        for (std::uint32_t i = 0; ok && i < policy_count; ++i) {
+          std::string name;
+          ok = r.str(name);
+          if (ok) surface.policies.push_back(std::move(name));
+        }
+        if (ok) m.surfaces.push_back(std::move(surface));
       }
       out = std::move(m);
       break;

@@ -33,7 +33,10 @@ namespace deflate::net {
 
 inline constexpr std::uint8_t kFrameMagic = 0xDF;
 /// Bumped whenever the frame layout or any payload encoding changes.
-inline constexpr std::uint8_t kCodecVersion = 1;
+/// v2: Hello advertises every policy registry surface (Hello::surfaces).
+inline constexpr std::uint8_t kCodecVersion = 2;
+/// Hard cap on advertised surfaces in a Hello (decode rejects above it).
+inline constexpr std::uint32_t kMaxHelloSurfaces = 64;
 /// Hard upper bound on payload length; a length field above this is
 /// malformed (it would let a broken peer make us buffer without bound).
 inline constexpr std::uint32_t kMaxPayload = 1u << 20;
@@ -55,14 +58,25 @@ enum class MsgType : std::uint8_t {
 
 [[nodiscard]] const char* msg_type_name(MsgType type) noexcept;
 
+/// One policy registry surface as advertised in a Hello: the surface's
+/// name ("admission", "placement", …) and its registered policy names.
+struct PolicySurface {
+  std::string surface;
+  std::vector<std::string> policies;
+};
+
 /// First frame on every connection, server -> client: who is serving, and
-/// which admission policies its registry carries (self-description — a
-/// client can pick a policy by name without out-of-band docs).
+/// which policies its registries carry (self-description — a client can
+/// pick a policy by name without out-of-band docs).
 struct Hello {
   std::uint8_t codec_version = kCodecVersion;
   std::string server;                 ///< free-form banner
   std::string admission_policy;       ///< policy this server decides with
-  std::vector<std::string> policies;  ///< all registered policy names
+  std::vector<std::string> policies;  ///< admission policy names (legacy)
+  /// v2: every policy registry surface in the process (admission,
+  /// placement, shard-selection, migration, revocation — plus whatever
+  /// plugins registered), each with its full policy-name list.
+  std::vector<PolicySurface> surfaces;
 };
 
 struct ErrorMsg {

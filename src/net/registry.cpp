@@ -1,81 +1,10 @@
 #include "net/registry.hpp"
 
-#include <algorithm>
-
 namespace deflate::net {
-
-namespace {
-
-AdmissionPolicyEntry builtin(const char* name, const char* description,
-                             cluster::AdmissionPolicyKind kind) {
-  AdmissionPolicyEntry entry;
-  entry.name = name;
-  entry.description = description;
-  entry.make = [kind](const cluster::AdmissionConfig& config,
-                      cluster::ClusterManagerBase& manager,
-                      cluster::PriceFeed feed) {
-    cluster::AdmissionConfig selected = config;
-    selected.policy = kind;
-    return cluster::make_admission_controller(selected, manager,
-                                              std::move(feed));
-  };
-  return entry;
-}
-
-}  // namespace
-
-AdmissionPolicyRegistry::AdmissionPolicyRegistry() {
-  entries_.push_back(builtin(
-      "admit-all", "legacy contract: every request placed on arrival",
-      cluster::AdmissionPolicyKind::AdmitAll));
-  entries_.push_back(builtin(
-      "price",
-      "defer deflatable classes while the spot quote exceeds the ceiling",
-      cluster::AdmissionPolicyKind::PriceThreshold));
-  entries_.push_back(builtin(
-      "bid-opt",
-      "price thresholds supplied by the per-class bid optimizer",
-      cluster::AdmissionPolicyKind::BidOptimized));
-}
-
-AdmissionPolicyRegistry& AdmissionPolicyRegistry::instance() {
-  static AdmissionPolicyRegistry registry;
-  return registry;
-}
-
-bool AdmissionPolicyRegistry::add(AdmissionPolicyEntry entry) {
-  if (entry.name.empty() || !entry.make ||
-      find(entry.name) != nullptr) {
-    return false;
-  }
-  entries_.push_back(std::move(entry));
-  return true;
-}
-
-const AdmissionPolicyEntry* AdmissionPolicyRegistry::find(
-    const std::string& name) const {
-  for (const auto& entry : entries_) {
-    if (entry.name == name) return &entry;
-  }
-  return nullptr;
-}
-
-std::vector<std::string> AdmissionPolicyRegistry::names() const {
-  std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& entry : entries_) out.push_back(entry.name);
-  std::sort(out.begin(), out.end());
-  return out;
-}
 
 std::optional<cluster::ShardSelectionPolicy> parse_shard_policy(
     const std::string& name) {
-  if (name == "p2c" || name == "power-of-two") {
-    return cluster::ShardSelectionPolicy::PowerOfTwoChoices;
-  }
-  if (name == "least-loaded") return cluster::ShardSelectionPolicy::LeastLoaded;
-  if (name == "round-robin") return cluster::ShardSelectionPolicy::RoundRobin;
-  return std::nullopt;
+  return cluster::shard_selection_from_name(name);
 }
 
 }  // namespace deflate::net

@@ -1,64 +1,31 @@
-// Self-describing admission-policy registry for the service layer.
+// Service-layer facade over the generic policy registries.
 //
-// The deflated daemon selects its admission policy by *name* at startup
-// (and advertises every name it knows in the Hello frame), so a plugin —
-// a test double, an experimental policy, a site-local heuristic — can be
-// served without touching the daemon's dispatch code: register a name,
-// a one-line description and a factory, and `--admission <name>` works.
-// The built-ins (the three policies of src/cluster/admission.hpp) are
-// registered by the registry itself, so lookup never depends on static
-// initialization order across translation units.
+// PR 6 introduced a bespoke `AdmissionPolicyRegistry` here so the deflated
+// daemon could select (and advertise) admission policies by name. The
+// generic policy layer (src/policy/registry.hpp) generalized that design
+// to every pluggable surface, and the admission registry now lives with
+// its policies in src/cluster/admission.hpp (`cluster::AdmissionSurface`).
+// The aliases below keep the original service-layer spelling working —
+// daemon code and plugins registered through either name share one
+// process-wide registry.
 #pragma once
 
-#include <functional>
-#include <memory>
+#include <optional>
 #include <string>
-#include <vector>
 
 #include "cluster/admission.hpp"
 #include "cluster/sharded_manager.hpp"
+#include "policy/registry.hpp"
 
 namespace deflate::net {
 
-struct AdmissionPolicyEntry {
-  std::string name;
-  std::string description;
-  /// Builds a controller over the service's shared manager and feed. The
-  /// config's `policy` kind is advisory — the name picked the entry.
-  std::function<std::unique_ptr<cluster::AdmissionController>(
-      const cluster::AdmissionConfig&, cluster::ClusterManagerBase&,
-      cluster::PriceFeed)>
-      make;
-};
-
-class AdmissionPolicyRegistry {
- public:
-  /// The process-wide registry, built-ins pre-registered:
-  ///   admit-all, price, bid-opt (src/cluster/admission.hpp).
-  [[nodiscard]] static AdmissionPolicyRegistry& instance();
-
-  /// Registers a policy; returns false (and changes nothing) when the
-  /// name is already taken.
-  bool add(AdmissionPolicyEntry entry);
-
-  /// nullptr when the name is unknown.
-  [[nodiscard]] const AdmissionPolicyEntry* find(const std::string& name) const;
-
-  /// Registered names, sorted (the Hello frame's policy list).
-  [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] const std::vector<AdmissionPolicyEntry>& entries() const {
-    return entries_;
-  }
-
- private:
-  AdmissionPolicyRegistry();
-
-  std::vector<AdmissionPolicyEntry> entries_;
-};
+using AdmissionPolicyRegistry = cluster::AdmissionRegistry;
+using AdmissionPolicyEntry = AdmissionPolicyRegistry::Entry;
 
 /// Parses a shard-selection policy name (`p2c` / `least-loaded` /
 /// `round-robin`, matching deflatectl's --shard-policy values); nullopt
-/// on anything else.
+/// on anything else. Delegates to the shard-selection registry's legacy
+/// alias mapping.
 [[nodiscard]] std::optional<cluster::ShardSelectionPolicy> parse_shard_policy(
     const std::string& name);
 

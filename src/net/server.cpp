@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include "net/registry.hpp"
+#include "policy/catalog.hpp"
 
 namespace deflate::net {
 
@@ -50,6 +51,14 @@ void Server::serve_connection(std::uint32_t conn_id,
     hello.server = core_.config().banner;
     hello.admission_policy = core_.config().admission_policy;
     hello.policies = AdmissionPolicyRegistry::instance().names();
+    for (const policy::SurfaceInfo& info : policy::describe_all_surfaces()) {
+      PolicySurface surface;
+      surface.surface = info.surface;
+      for (const policy::PolicyInfo& p : info.policies) {
+        surface.policies.push_back(p.name);
+      }
+      hello.surfaces.push_back(std::move(surface));
+    }
     const auto frame = encode_frame(Message{hello});
     if (!socket->send_all(frame.data(), frame.size())) {
       std::lock_guard<std::mutex> lock(state_mutex_);

@@ -9,8 +9,10 @@ namespace deflate::net {
 ServiceCore::ServiceCore(const ServiceConfig& config) : config_(config) {
   if (AdmissionPolicyRegistry::instance().find(config_.admission_policy) ==
       nullptr) {
-    throw std::invalid_argument("unknown admission policy '" +
-                                config_.admission_policy + "'");
+    throw std::invalid_argument(
+        "unknown admission policy '" + config_.admission_policy +
+        "' (expected " +
+        policy::joined_policy_names<cluster::AdmissionSurface>() + ")");
   }
 
   if (config_.price_trace_hours > 0) {
@@ -26,9 +28,13 @@ ServiceCore::ServiceCore(const ServiceConfig& config) : config_(config) {
 
   cluster::ShardedClusterConfig fleet;
   fleet.cluster.server_count = config_.server_count;
+  fleet.cluster.placement_name = config_.placement_policy;
   fleet.shard_count = config_.shard_count;
   fleet.selection = config_.shard_policy;
+  fleet.selection_name = config_.shard_policy_name;
   fleet.routing_seed = config_.routing_seed;
+  // The manager ctor resolves both names through their registries and
+  // throws the same one-line "unknown … (expected a|b|c)" diagnostics.
   manager_ = cluster::make_cluster_manager(fleet);
 }
 

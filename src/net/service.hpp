@@ -32,6 +32,12 @@ struct ServiceConfig {
   std::size_t shard_count = 1;
   cluster::ShardSelectionPolicy shard_policy =
       cluster::ShardSelectionPolicy::PowerOfTwoChoices;
+  /// Registry name for shard selection; empty defers to `shard_policy`.
+  /// Required to select a link-time plugin selector (no enum value).
+  std::string shard_policy_name;
+  /// Registry name for placement scoring; empty keeps the default
+  /// (fitness). Unknown names throw std::invalid_argument at build.
+  std::string placement_policy;
   std::uint64_t routing_seed = 42;
 
   // Admission.

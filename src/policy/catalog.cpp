@@ -1,0 +1,38 @@
+#include "policy/catalog.hpp"
+
+#include "cluster/admission.hpp"
+#include "cluster/migration.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/sharded_manager.hpp"
+#include "transient/revocation.hpp"
+
+namespace deflate::policy {
+
+namespace {
+
+template <typename Surface>
+SurfaceInfo describe_surface() {
+  const auto& registry = PolicyRegistry<Surface>::instance();
+  SurfaceInfo info;
+  info.surface = Surface::kSurfaceName;
+  info.description = Surface::kSurfaceDescription;
+  for (const auto& entry : registry.entries()) {
+    info.policies.push_back(PolicyInfo{entry.name, entry.description,
+                                       entry.aliases, entry.params});
+  }
+  return info;
+}
+
+}  // namespace
+
+std::vector<SurfaceInfo> describe_all_surfaces() {
+  std::vector<SurfaceInfo> surfaces;
+  surfaces.push_back(describe_surface<cluster::AdmissionSurface>());
+  surfaces.push_back(describe_surface<cluster::PlacementSurface>());
+  surfaces.push_back(describe_surface<cluster::ShardSelectionSurface>());
+  surfaces.push_back(describe_surface<cluster::MigrationSurface>());
+  surfaces.push_back(describe_surface<transient::RevocationSurface>());
+  return surfaces;
+}
+
+}  // namespace deflate::policy

@@ -1,0 +1,34 @@
+// Cross-surface enumeration of every policy registry in the process —
+// the single source behind `deflatectl list-policies`, the daemon's Hello
+// advertisement and the docs-coverage check (tools/check_policy_docs.sh).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policy/registry.hpp"
+
+namespace deflate::policy {
+
+struct PolicyInfo {
+  std::string name;
+  std::string description;
+  std::vector<std::string> aliases;
+  std::vector<ParamSpec> params;
+};
+
+struct SurfaceInfo {
+  std::string surface;      ///< e.g. "placement", "shard-selection"
+  std::string description;  ///< the surface's one-liner
+  /// Registration order (builtins first, then link-time plugins).
+  std::vector<PolicyInfo> policies;
+};
+
+/// Every registered surface with every registered policy, surfaces in
+/// fixed order (admission, placement, shard-selection, migration,
+/// revocation). Touching all five registries here also forces their
+/// builtins to register, so callers see a complete catalog regardless of
+/// what else the process linked.
+[[nodiscard]] std::vector<SurfaceInfo> describe_all_surfaces();
+
+}  // namespace deflate::policy

@@ -1,0 +1,77 @@
+#include "policy/policy_set.hpp"
+
+#include "cluster/admission.hpp"
+#include "cluster/migration.hpp"
+#include "cluster/placement.hpp"
+#include "cluster/sharded_manager.hpp"
+#include "policy/registry.hpp"
+#include "transient/revocation.hpp"
+
+namespace deflate::policy {
+
+double PolicyChoice::param_or(const std::string& key,
+                              double fallback) const noexcept {
+  for (const auto& [name, value] : params) {
+    if (name == key) return value;
+  }
+  return fallback;
+}
+
+bool PolicySet::empty() const noexcept {
+  return admission.empty() && placement.empty() && shard_selection.empty() &&
+         migration.empty() && revocation.empty();
+}
+
+namespace {
+
+template <typename Surface>
+void validate_choice(const PolicyChoice& choice,
+                     std::vector<std::string>& errors) {
+  const std::string surface = Surface::kSurfaceName;
+  if (choice.empty()) {
+    if (!choice.params.empty()) {
+      errors.push_back(surface + ": parameters given without a policy name");
+    }
+    return;
+  }
+  const auto* entry = PolicyRegistry<Surface>::instance().find(choice.name);
+  if (entry == nullptr) {
+    errors.push_back(surface + ": unknown policy '" + choice.name +
+                     "' (expected " + joined_policy_names<Surface>() + ")");
+    return;
+  }
+  for (const auto& [key, value] : choice.params) {
+    (void)value;
+    bool known = false;
+    for (const auto& spec : entry->params) {
+      if (spec.name == key) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string expected;
+    for (const auto& spec : entry->params) {
+      if (!expected.empty()) expected += '|';
+      expected += spec.name;
+    }
+    errors.push_back(surface + ": policy '" + entry->name +
+                     "' has no parameter '" + key + "'" +
+                     (expected.empty() ? std::string(" (takes no parameters)")
+                                       : " (expected " + expected + ")"));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PolicySet::validate() const {
+  std::vector<std::string> errors;
+  validate_choice<cluster::AdmissionSurface>(admission, errors);
+  validate_choice<cluster::PlacementSurface>(placement, errors);
+  validate_choice<cluster::ShardSelectionSurface>(shard_selection, errors);
+  validate_choice<cluster::MigrationSurface>(migration, errors);
+  validate_choice<transient::RevocationSurface>(revocation, errors);
+  return errors;
+}
+
+}  // namespace deflate::policy

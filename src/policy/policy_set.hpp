@@ -1,0 +1,49 @@
+// Declarative policy selection: names + parameter overrides for every
+// pluggable surface, resolved through the typed registries.
+//
+// A PolicySet travels on SimConfig / ServiceConfig. Empty names mean
+// "keep whatever the legacy enum or flag selected" so existing configs
+// stay bit-identical; non-empty names are validated against the
+// registries up front (validate()) and applied when the owning
+// component is constructed or re-bound at a tick barrier.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deflate::policy {
+
+/// One surface's selection: a registered policy name (or alias) plus
+/// optional parameter overrides. Parameter names must match the
+/// ParamSpecs the policy registered; values are plain doubles, matching
+/// the knobs the builtin configs expose.
+struct PolicyChoice {
+  std::string name;  ///< empty = surface keeps its legacy default
+  std::vector<std::pair<std::string, double>> params;
+
+  [[nodiscard]] bool empty() const noexcept { return name.empty(); }
+  /// Value of parameter `key`, or `fallback` when absent.
+  [[nodiscard]] double param_or(const std::string& key,
+                                double fallback) const noexcept;
+};
+
+/// Selections for all five registered surfaces.
+struct PolicySet {
+  PolicyChoice admission;
+  PolicyChoice placement;
+  PolicyChoice shard_selection;
+  PolicyChoice migration;
+  PolicyChoice revocation;
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// One error line per problem, e.g.
+  ///   placement: unknown policy 'foo' (expected best-fit|first-fit|...)
+  ///   revocation: policy 'poisson' has no parameter 'rate'
+  /// Empty vector = the set resolves cleanly against every registry.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+}  // namespace deflate::policy

@@ -10,6 +10,67 @@ namespace deflate::simcluster {
 
 namespace {
 
+/// Resolves SimConfig::policies onto the legacy config fields: validated
+/// up front (one std::invalid_argument naming every problem), then each
+/// named choice is written into the owning subsystem's `*_name` field —
+/// those take precedence over the enums at construction time. Builtin
+/// names additionally sync the enum so code that still branches on it
+/// (bid optimization, market.enabled()) sees the same selection; plugin
+/// names leave the enum alone.
+void apply_policy_set(SimConfig& config) {
+  const policy::PolicySet& set = config.policies;
+  const std::vector<std::string> errors = set.validate();
+  if (!errors.empty()) {
+    std::string message = "SimConfig.policies: " + errors.front();
+    for (std::size_t i = 1; i < errors.size(); ++i) {
+      message += "; " + errors[i];
+    }
+    throw std::invalid_argument(message);
+  }
+  if (!set.placement.empty()) {
+    if (const auto kind = cluster::placement_strategy_from_name(set.placement.name)) {
+      config.placement = *kind;
+    }
+  }
+  if (!set.shard_selection.empty()) {
+    if (const auto kind = cluster::shard_selection_from_name(set.shard_selection.name)) {
+      config.shard_selection = *kind;
+    }
+  }
+  if (!set.migration.empty()) {
+    config.migration.strategy_name = set.migration.name;
+  }
+  if (!set.revocation.empty()) {
+    const auto apply = [&set](transient::RevocationConfig& rc) {
+      rc.model_name = set.revocation.name;
+      if (const auto kind = transient::revocation_model_from_name(set.revocation.name)) {
+        rc.model = *kind;
+      }
+      rc.poisson_rate_per_hour =
+          set.revocation.param_or("poisson_rate_per_hour", rc.poisson_rate_per_hour);
+      rc.max_lifetime_hours =
+          set.revocation.param_or("max_lifetime_hours", rc.max_lifetime_hours);
+      rc.early_fraction = set.revocation.param_or("early_fraction", rc.early_fraction);
+      rc.early_tau_hours = set.revocation.param_or("early_tau_hours", rc.early_tau_hours);
+      rc.late_shape = set.revocation.param_or("late_shape", rc.late_shape);
+      rc.bid = set.revocation.param_or("bid", rc.bid);
+    };
+    apply(config.market.revocation);
+    for (transient::MarketDef& market : config.market.markets) {
+      apply(market.revocation);
+    }
+  }
+  if (!set.admission.empty()) {
+    if (const auto kind = cluster::admission_policy_from_name(set.admission.name)) {
+      config.admission.policy = *kind;
+    }
+    config.admission.default_ceiling =
+        set.admission.param_or("default_ceiling", config.admission.default_ceiling);
+    config.admission.max_defer_hours =
+        set.admission.param_or("max_defer_hours", config.admission.max_defer_hours);
+  }
+}
+
 cluster::ClusterConfig make_cluster_config(
     const SimConfig& config,
     const std::optional<transient::CapacityPlan>& plan) {
@@ -20,6 +81,7 @@ cluster::ClusterConfig make_cluster_config(
   out.mode = config.mode;
   out.mechanism = config.mechanism;
   out.placement = config.placement;
+  out.placement_name = config.policies.placement.name;
   out.reinflate_on_departure = config.reinflate_on_departure;
   out.partitioned = config.partitioned;
   // Portfolio-driven capacity mixing: the mean-variance weights size the
@@ -45,6 +107,7 @@ std::unique_ptr<cluster::ClusterManagerBase> make_manager(
   sharded.cluster = make_cluster_config(config, plan);
   sharded.shard_count = config.shard_count;
   sharded.selection = config.shard_selection;
+  sharded.selection_name = config.policies.shard_selection.name;
   sharded.routing_seed = config.shard_routing_seed;
   sharded.worker_threads = config.worker_threads != 0
                                ? config.worker_threads
@@ -99,6 +162,7 @@ TraceDrivenSimulator::TraceDrivenSimulator(SimConfig config)
 }
 
 void TraceDrivenSimulator::init_common() {
+  apply_policy_set(config_);
   plan_ = make_plan(horizon_, config_);
   manager_ = make_manager(config_, plan_);
   if (timed_migration()) {
@@ -148,9 +212,17 @@ void TraceDrivenSimulator::init_common() {
     }
     const double on_demand_rate =
         config_.market.effective_markets().front().price.on_demand_price;
-    admission_ = cluster::make_admission_controller(
-        std::move(admission), *manager_,
-        cluster::PriceFeed(std::move(traces), on_demand_rate));
+    cluster::PriceFeed feed(std::move(traces), on_demand_rate);
+    // A registry name routes through the admission registry (the only way
+    // a link-time plugin policy can be selected); empty keeps the enum
+    // dispatch, bit-identical to before the policy layer existed.
+    admission_ =
+        config_.policies.admission.empty()
+            ? cluster::make_admission_controller(std::move(admission),
+                                                 *manager_, std::move(feed))
+            : cluster::make_admission_controller_by_name(
+                  config_.policies.admission.name, admission, *manager_,
+                  std::move(feed));
   }
 
   // Track allocation changes (deflation *and* reinflation) per VM.

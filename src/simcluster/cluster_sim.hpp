@@ -26,6 +26,7 @@
 #include "cluster/pricing.hpp"
 #include "cluster/sharded_manager.hpp"
 #include "cluster/wire.hpp"
+#include "policy/policy_set.hpp"
 #include "trace/replay.hpp"
 #include "trace/vm_record.hpp"
 #include "transient/market.hpp"
@@ -101,6 +102,16 @@ struct SimConfig {
   /// `worker_threads` (tests/test_trace_replay.cpp). Ignored by the
   /// record-vector constructor.
   std::optional<trace::ReplayConfig> replay;
+
+  // --- declarative policy selection (src/policy) ---
+  /// Registry names (+ per-policy parameter overrides) for the five
+  /// pluggable surfaces. Empty choices leave the legacy enum/flag fields
+  /// above in charge, so default-constructed configs are bit-identical to
+  /// earlier releases. Non-empty choices are validated against the
+  /// registries at construction (std::invalid_argument lists the valid
+  /// names) and then take precedence over the matching enum — which is
+  /// how link-time plugin policies, having no enum value, are selected.
+  policy::PolicySet policies;
 
   // --- timed migration (src/cluster/migration) ---
   /// With `migration.model.bandwidth_mib_per_sec > 0` (and a deflation-mode

@@ -92,9 +92,16 @@ struct MarketEngineConfig {
 
   [[nodiscard]] bool enabled() const noexcept {
     if (use_portfolio) return true;
-    if (markets.empty()) return revocation.model != RevocationModel::None;
+    // A registry name takes precedence over the legacy enum (matching
+    // RevocationEngine's resolution), so a plugin-registered model with
+    // the enum left at None still counts as revocations-on.
+    const auto active = [](const RevocationConfig& rc) noexcept {
+      if (!rc.model_name.empty()) return rc.model_name != "none";
+      return rc.model != RevocationModel::None;
+    };
+    if (markets.empty()) return active(revocation);
     for (const MarketDef& market : markets) {
-      if (market.revocation.model != RevocationModel::None) return true;
+      if (active(market.revocation)) return true;
     }
     return false;
   }

@@ -25,20 +25,31 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "policy/registry.hpp"
 #include "sim/time.hpp"
 #include "transient/spot_price.hpp"
 
 namespace deflate::transient {
 
+/// Thin alias over the revocation policy registry (every value maps to a
+/// registered builtin model).
 enum class RevocationModel { None, Poisson, TemporallyConstrained, PriceCrossing };
 
 [[nodiscard]] const char* revocation_model_name(RevocationModel m) noexcept;
 
 struct RevocationConfig {
   RevocationModel model = RevocationModel::None;
+  /// Registry name of the model (PolicySet path). Empty = resolve the
+  /// builtin aliased by `model`. Unknown names throw std::invalid_argument
+  /// when the engine is built.
+  std::string model_name;
 
   // --- Poisson ---
   /// Mean time between revocations is 1/rate (default: one per 24 h).
@@ -90,11 +101,73 @@ struct RevocationEvent {
   return a.server < b.server;
 }
 
+/// Strategy object behind RevocationModel: generates one server's
+/// revoke/restore schedule as a pure function of (config, seed, server).
+/// Models are stateless and shared; per-call randomness is derived inside
+/// schedule_for from the (seed, server)-keyed stream.
+class RevocationModelPolicy {
+ public:
+  virtual ~RevocationModelPolicy() = default;
+
+  /// Sorted schedule over [0, horizon) for one server. `prices` is the
+  /// market's step trace (may be null; the price-crossing model throws
+  /// std::logic_error without it).
+  [[nodiscard]] virtual std::vector<RevocationEvent> schedule_for(
+      const RevocationConfig& config, std::uint64_t seed, std::size_t server,
+      sim::SimTime horizon, const PriceTrace* prices) const = 0;
+
+  /// Expected revocations per server-hour (portfolio risk estimate).
+  [[nodiscard]] virtual double expected_rate_per_hour(
+      const RevocationConfig& config,
+      const PriceTrace* prices) const noexcept = 0;
+};
+
+/// Intermediate base for acquire/revoke renewal models (Poisson,
+/// temporally-constrained): owns the renewal loop — keyed rng stream,
+/// recovery clamp, horizon cutoffs — so subclasses only sample lifetimes.
+/// Draw order is part of the loop, which is what keeps the golden
+/// revocation schedules bit-identical across the refactor.
+class RenewalRevocationModel : public RevocationModelPolicy {
+ public:
+  [[nodiscard]] std::vector<RevocationEvent> schedule_for(
+      const RevocationConfig& config, std::uint64_t seed, std::size_t server,
+      sim::SimTime horizon, const PriceTrace* prices) const final;
+
+ protected:
+  /// Samples the next lifetime (hours from acquisition to revocation)
+  /// from the renewal stream.
+  [[nodiscard]] virtual double sample_lifetime_hours(
+      const RevocationConfig& config, util::Rng& rng) const = 0;
+};
+
+/// Registry surface for revocation models.
+struct RevocationSurface {
+  static constexpr const char* kSurfaceName = "revocation";
+  static constexpr const char* kSurfaceDescription =
+      "how the transient market revokes (and restores) servers";
+  using Factory =
+      std::function<std::shared_ptr<const RevocationModelPolicy>()>;
+  static void register_builtins(policy::PolicyRegistry<RevocationSurface>&);
+};
+
+using RevocationRegistry = policy::PolicyRegistry<RevocationSurface>;
+
+/// Resolves a registered model by name (aliases accepted); throws
+/// std::invalid_argument naming the valid choices when unknown.
+[[nodiscard]] std::shared_ptr<const RevocationModelPolicy>
+make_revocation_model(const std::string& name);
+
+/// Reverse mapping for the legacy-enum config surfaces (nullopt for
+/// plugin-registered names that have no enum alias).
+[[nodiscard]] std::optional<RevocationModel> revocation_model_from_name(
+    const std::string& name) noexcept;
+
 class RevocationEngine {
  public:
-  explicit RevocationEngine(RevocationConfig config,
-                            std::uint64_t seed = 42) noexcept
-      : config_(config), seed_(seed) {}
+  /// Resolves the model through the registry (`config.model_name`, falling
+  /// back to the builtin aliased by `config.model`); throws
+  /// std::invalid_argument on unknown names.
+  explicit RevocationEngine(RevocationConfig config, std::uint64_t seed = 42);
 
   /// Revoke/restore schedule for one server over [0, horizon), sorted by
   /// time. A pure function of (config, seed, server) — bit-identical
@@ -123,13 +196,11 @@ class RevocationEngine {
   }
 
  private:
-  /// Samples one temporally-constrained lifetime (hours) by inverting the
-  /// bathtub CDF; always <= max_lifetime_hours.
-  [[nodiscard]] double sample_constrained_lifetime(util::Rng& rng) const;
-
   RevocationConfig config_;
   std::uint64_t seed_ = 42;
   const PriceTrace* prices_ = nullptr;
+  /// Registry-resolved model implementation.
+  std::shared_ptr<const RevocationModelPolicy> model_;
 };
 
 }  // namespace deflate::transient

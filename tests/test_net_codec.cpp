@@ -50,6 +50,19 @@ net::Message random_message(Rng& rng) {
       for (std::int64_t i = 0; i < n; ++i) {
         m.policies.push_back("policy-" + std::to_string(i));
       }
+      // v2: per-surface registry advertisements (0 surfaces = a v2 frame
+      // from a peer with no registries, still valid).
+      const auto surface_count = rng.uniform_int(0, 6);
+      for (std::int64_t s = 0; s < surface_count; ++s) {
+        net::PolicySurface surface;
+        surface.surface = "surface-" + std::to_string(s);
+        const auto policy_count = rng.uniform_int(0, 7);
+        for (std::int64_t p = 0; p < policy_count; ++p) {
+          surface.policies.push_back("s" + std::to_string(s) + "-policy-" +
+                                     std::to_string(p));
+        }
+        m.surfaces.push_back(std::move(surface));
+      }
       return m;
     }
     case 1: {
@@ -179,6 +192,48 @@ TEST(NetCodec, AdmissionRequestFieldsSurvive) {
   EXPECT_EQ(out.request.arrival, sim::SimTime::from_hours(12.25));
   ASSERT_TRUE(out.request.deadline.has_value());
   EXPECT_EQ(*out.request.deadline, sim::SimTime::from_hours(18.0));
+}
+
+TEST(NetCodec, HelloSurfacesSurvive) {
+  net::Hello m;
+  m.server = "deflated/test";
+  m.admission_policy = "price";
+  m.policies = {"admit-all", "price"};
+  net::PolicySurface admission;
+  admission.surface = "admission";
+  admission.policies = {"admit-all", "bid-opt", "price"};
+  net::PolicySurface empty_surface;
+  empty_surface.surface = "placement";  // advertised with no policies
+  m.surfaces = {admission, empty_surface};
+
+  const auto frame = net::encode_frame(m);
+  const auto decoded = net::decode_frame(frame.data(), frame.size());
+  ASSERT_EQ(decoded.status, net::DecodeStatus::Ok) << decoded.error;
+  const auto& out = std::get<net::Hello>(decoded.message);
+  ASSERT_EQ(out.surfaces.size(), 2U);
+  EXPECT_EQ(out.surfaces[0].surface, "admission");
+  EXPECT_EQ(out.surfaces[0].policies,
+            (std::vector<std::string>{"admit-all", "bid-opt", "price"}));
+  EXPECT_EQ(out.surfaces[1].surface, "placement");
+  EXPECT_TRUE(out.surfaces[1].policies.empty());
+  // The legacy admission list is independent of the surface table.
+  EXPECT_EQ(out.policies, m.policies);
+}
+
+TEST(NetCodec, HelloSurfaceCountOverCapRejected) {
+  net::Hello m;
+  m.server = "deflated/test";
+  for (std::size_t i = 0; i <= net::kMaxHelloSurfaces; ++i) {
+    net::PolicySurface surface;
+    surface.surface = "surface-" + std::to_string(i);
+    m.surfaces.push_back(std::move(surface));
+  }
+  const auto frame = net::encode_frame(net::Message{m});
+  const auto result = net::decode_frame(frame.data(), frame.size());
+  EXPECT_EQ(result.status, net::DecodeStatus::Malformed);
+
+  m.surfaces.pop_back();  // exactly at the cap: fine
+  expect_roundtrip_exact(net::Message{m});
 }
 
 TEST(NetCodec, EveryTruncationIsNeedMoreNeverCrash) {

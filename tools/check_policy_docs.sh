@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Fails (exit 1) when a policy registered in the process-wide registries
+# is missing from the docs/ARCHITECTURE.md policy table. The source of
+# truth is the built daemon's own catalog (`deflated --list-policies`
+# prints `surface<TAB>name<TAB>description` for every registered policy),
+# so a builtin added in code without a docs-table row breaks CI.
+#
+#   $ tools/check_policy_docs.sh [path/to/deflated]   # default ./build/deflated
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+daemon="${1:-"$root/build/deflated"}"
+docs="$root/docs/ARCHITECTURE.md"
+
+if [ ! -x "$daemon" ]; then
+  echo "error: daemon binary not found: $daemon (build first)" >&2
+  exit 2
+fi
+if [ ! -f "$docs" ]; then
+  echo "error: docs file not found: $docs" >&2
+  exit 2
+fi
+
+fail=0
+checked=0
+surfaces=0
+last_surface=""
+
+while IFS=$'\t' read -r surface name _description; do
+  [ -z "$surface" ] && continue
+  if [ "$surface" != "$last_surface" ]; then
+    surfaces=$((surfaces + 1))
+    last_surface="$surface"
+    if ! grep -q "$surface" "$docs"; then
+      echo "undocumented surface: '$surface' not mentioned in docs/ARCHITECTURE.md"
+      fail=1
+    fi
+  fi
+  checked=$((checked + 1))
+  # The policy table renders every name in backticks; match the exact
+  # `name` token so e.g. documented "first-fit" doesn't cover "fit".
+  if ! grep -q "\`$name\`" "$docs"; then
+    echo "undocumented policy: $surface/'$name' has no \`$name\` row in docs/ARCHITECTURE.md"
+    fail=1
+  fi
+done < <("$daemon" --list-policies)
+
+if [ "$surfaces" -lt 5 ] || [ "$checked" -lt 10 ]; then
+  echo "error: catalog suspiciously small ($surfaces surfaces, $checked policies)"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "policy docs OK ($checked policies across $surfaces surfaces documented)"
+fi
+exit "$fail"

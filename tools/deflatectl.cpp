@@ -27,6 +27,12 @@
 //               [--window W] [--threads T] [--capture FILE]
 //               [--servers N | --overcommit O] [--shards N]
 //               [--shard-policy p2c|least-loaded|round-robin]
+//   deflatectl list-policies
+//
+// `list-policies` prints every policy registry surface (admission,
+// placement, shard-selection, migration, revocation) with its registered
+// policies, aliases and tunable parameters — including policies added by
+// link-time plugins (src/policy/registry.hpp).
 //
 // `connect` drives a running deflated daemon (tools/deflated.cpp) through
 // the batching client (src/net/client.hpp) and prints the decision
@@ -81,6 +87,7 @@
 #include "analysis/feasibility.hpp"
 #include "net/capture.hpp"
 #include "net/client.hpp"
+#include "policy/catalog.hpp"
 #include "simcluster/cluster_sim.hpp"
 #include "trace/azure.hpp"
 #include "trace/replay.hpp"
@@ -123,7 +130,8 @@ int usage() {
       "             [--hours H] [--seed S] [--rate R] [--duration-scale D]\n"
       "             [--window W] [--threads T] [--capture FILE]\n"
       "             [--servers N | --overcommit O] [--shards N]\n"
-      "             [--shard-policy p2c|least-loaded|round-robin]\n";
+      "             [--shard-policy p2c|least-loaded|round-robin]\n"
+      "  deflatectl list-policies\n";
   return 1;
 }
 
@@ -141,15 +149,23 @@ int flag_error(const std::string& message) {
   return 1;
 }
 
+/// One-line "flag --X: unknown value 'v' (expected a|b|c)" diagnostic
+/// with the choice list pulled from the surface's registry — plugin
+/// policies appear automatically.
+template <typename Surface>
+int unknown_policy_error(const std::string& flag, const std::string& value) {
+  return flag_error("flag --" + flag + ": unknown value '" + value +
+                    "' (expected " + policy::joined_policy_names<Surface>() +
+                    ")");
+}
+
+// The policy-name parsers below all resolve through the registries
+// (aliases included) instead of hand-rolled string ladders; the enum they
+// return is the legacy alias of the matched entry.
+
 std::optional<transient::RevocationModel> parse_revocation_model(
     const std::string& name) {
-  if (name == "none") return transient::RevocationModel::None;
-  if (name == "poisson") return transient::RevocationModel::Poisson;
-  if (name == "temporal") {
-    return transient::RevocationModel::TemporallyConstrained;
-  }
-  if (name == "price") return transient::RevocationModel::PriceCrossing;
-  return std::nullopt;
+  return transient::revocation_model_from_name(name);
 }
 
 std::optional<core::PolicyKind> parse_policy(const std::string& name) {
@@ -170,29 +186,17 @@ std::optional<mech::MechanismKind> parse_mechanism(const std::string& name) {
 
 std::optional<cluster::PlacementStrategy> parse_placement(
     const std::string& name) {
-  if (name == "fitness") return cluster::PlacementStrategy::Fitness;
-  if (name == "first-fit") return cluster::PlacementStrategy::FirstFit;
-  if (name == "best-fit") return cluster::PlacementStrategy::BestFit;
-  if (name == "worst-fit") return cluster::PlacementStrategy::WorstFit;
-  return std::nullopt;
+  return cluster::placement_strategy_from_name(name);
 }
 
 std::optional<cluster::ShardSelectionPolicy> parse_shard_policy(
     const std::string& name) {
-  if (name == "p2c" || name == "power-of-two") {
-    return cluster::ShardSelectionPolicy::PowerOfTwoChoices;
-  }
-  if (name == "least-loaded") return cluster::ShardSelectionPolicy::LeastLoaded;
-  if (name == "round-robin") return cluster::ShardSelectionPolicy::RoundRobin;
-  return std::nullopt;
+  return cluster::shard_selection_from_name(name);
 }
 
 std::optional<cluster::AdmissionPolicyKind> parse_admission_policy(
     const std::string& name) {
-  if (name == "admit-all") return cluster::AdmissionPolicyKind::AdmitAll;
-  if (name == "price") return cluster::AdmissionPolicyKind::PriceThreshold;
-  if (name == "bid-opt") return cluster::AdmissionPolicyKind::BidOptimized;
-  return std::nullopt;
+  return cluster::admission_policy_from_name(name);
 }
 
 /// Applies the shared --shards / --shard-policy flags; returns false on a
@@ -293,10 +297,10 @@ int cmd_simulate(const CliArgs& args) {
                                     "' (expected hybrid|transparent|"
                                     "explicit|balloon)");
   const auto placement = parse_placement(args.get("placement", "fitness"));
-  if (!placement) return flag_error("flag --placement: unknown value '" +
-                                    args.get("placement", "") +
-                                    "' (expected fitness|first-fit|"
-                                    "best-fit|worst-fit)");
+  if (!placement) {
+    return unknown_policy_error<cluster::PlacementSurface>(
+        "placement", args.get("placement", ""));
+  }
   config.policy = *policy;
   config.mechanism = *mechanism;
   config.placement = *placement;
@@ -310,9 +314,8 @@ int cmd_simulate(const CliArgs& args) {
   config.partitioned = args.has("partitioned");
   config.reinflate_on_departure = !args.has("no-reinflate");
   if (!apply_shard_flags(args, config)) {
-    return flag_error("flag --shard-policy: unknown value '" +
-                      args.get("shard-policy", "") +
-                      "' (expected p2c|least-loaded|round-robin)");
+    return unknown_policy_error<cluster::ShardSelectionSurface>(
+        "shard-policy", args.get("shard-policy", ""));
   }
 
   const double overcommit = args.get_double("overcommit", 0.0);
@@ -425,9 +428,8 @@ int cmd_revoke_sim(const CliArgs& args) {
   // and the on-demand pool is exactly the never-revoked server set.
   config.partitioned = args.has("partitioned");
   if (!apply_shard_flags(args, config)) {
-    return flag_error("flag --shard-policy: unknown value '" +
-                      args.get("shard-policy", "") +
-                      "' (expected p2c|least-loaded|round-robin)");
+    return unknown_policy_error<cluster::ShardSelectionSurface>(
+        "shard-policy", args.get("shard-policy", ""));
   }
   if (args.has("servers")) {
     config.server_count =
@@ -440,9 +442,10 @@ int cmd_revoke_sim(const CliArgs& args) {
   }
 
   const auto model = parse_revocation_model(args.get("model", "poisson"));
-  if (!model) return flag_error("flag --model: unknown value '" +
-                                args.get("model", "") +
-                                "' (expected none|poisson|temporal|price)");
+  if (!model) {
+    return unknown_policy_error<transient::RevocationSurface>(
+        "model", args.get("model", ""));
+  }
   config.market_enabled = true;
   config.market.seed = static_cast<std::uint64_t>(args.get_double("seed", 42));
   config.market.revocation.model = *model;
@@ -458,8 +461,8 @@ int cmd_revoke_sim(const CliArgs& args) {
   const std::string admission = args.get("admission", "admit-all");
   const auto admission_policy = parse_admission_policy(admission);
   if (!admission_policy) {
-    return flag_error("flag --admission: unknown value '" + admission +
-                      "' (expected admit-all|price|bid-opt)");
+    return unknown_policy_error<cluster::AdmissionSurface>("admission",
+                                                           admission);
   }
   config.admission.policy = *admission_policy;
   config.admission.default_ceiling = args.get_double("price-ceiling", 0.35);
@@ -478,19 +481,13 @@ int cmd_revoke_sim(const CliArgs& args) {
       args.get_double("migration-dirty-rate", 64.0);
   config.migration.model.share_bandwidth = args.has("migration-contention");
   const std::string strategy = args.get("migration-strategy", "hybrid");
-  if (strategy == "migrate") {
-    config.migration.deflate_before_transfer = false;
-    config.migration.checkpoint_fallback = false;
-  } else if (strategy == "deflate") {
-    config.migration.deflate_before_transfer = true;
-    config.migration.checkpoint_fallback = false;
-  } else if (strategy == "hybrid") {
-    config.migration.deflate_before_transfer = true;
-    config.migration.checkpoint_fallback = true;
-  } else {
-    return flag_error("flag --migration-strategy: unknown value '" + strategy +
-                      "' (expected migrate|deflate|hybrid)");
+  if (cluster::MigrationRegistry::instance().find(strategy) == nullptr) {
+    return unknown_policy_error<cluster::MigrationSurface>(
+        "migration-strategy", strategy);
   }
+  // Resolved onto the deflate_before_transfer/checkpoint_fallback pair by
+  // the MigrationEngine constructor.
+  config.migration.strategy_name = strategy;
 
   // Multi-market fleet: K copies of the configured market, coupled by a
   // uniform pairwise correlation, each with its own revocation stream.
@@ -781,9 +778,8 @@ int cmd_replay_trace(const CliArgs& args) {
 
   simcluster::SimConfig config;
   if (!apply_shard_flags(args, config)) {
-    return flag_error("flag --shard-policy: unknown value '" +
-                      args.get("shard-policy", "") +
-                      "' (expected p2c|least-loaded|round-robin)");
+    return unknown_policy_error<cluster::ShardSelectionSurface>(
+        "shard-policy", args.get("shard-policy", ""));
   }
   if (args.has("servers")) {
     config.server_count =
@@ -820,6 +816,38 @@ int cmd_replay_trace(const CliArgs& args) {
   return 0;
 }
 
+// Enumerates every policy registry surface with its registered policies,
+// aliases and tunable parameters — the whole catalog, including policies
+// registered by link-time plugins. The trailing "N surfaces, M policies"
+// summary is what the CI smoke greps.
+int cmd_list_policies() {
+  const auto surfaces = policy::describe_all_surfaces();
+  std::size_t total = 0;
+  for (const policy::SurfaceInfo& surface : surfaces) {
+    std::cout << surface.surface << ": " << surface.description << "\n";
+    util::Table table({"policy", "aliases", "parameters", "description"});
+    for (const policy::PolicyInfo& entry : surface.policies) {
+      std::string aliases;
+      for (const std::string& alias : entry.aliases) {
+        if (!aliases.empty()) aliases += ", ";
+        aliases += alias;
+      }
+      std::string params;
+      for (const policy::ParamSpec& spec : entry.params) {
+        if (!params.empty()) params += ", ";
+        params += spec.name + "=" + util::format_double(spec.default_value, 4);
+      }
+      table.add_row({entry.name, aliases.empty() ? "-" : aliases,
+                     params.empty() ? "-" : params, entry.description});
+      ++total;
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << surfaces.size() << " surfaces, " << total << " policies\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -837,6 +865,7 @@ int main(int argc, char** argv) {
     if (command == "connect") return cmd_connect(args);
     if (command == "replay") return cmd_replay(args);
     if (command == "replay-trace") return cmd_replay_trace(args);
+    if (command == "list-policies") return cmd_list_policies();
     return usage();
   } catch (const std::invalid_argument& error) {
     // Malformed flag values are usage errors, not runtime failures.

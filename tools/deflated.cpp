@@ -27,6 +27,7 @@
 
 #include "net/registry.hpp"
 #include "net/server.hpp"
+#include "policy/catalog.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -45,9 +46,15 @@ int usage() {
   return 1;
 }
 
+// Prints every surface's registered policies (the same process-wide
+// catalog deflatectl list-policies renders as tables), one line each:
+//   <surface>\t<policy>\t<description>
 int list_policies() {
-  for (const auto& entry : net::AdmissionPolicyRegistry::instance().entries()) {
-    std::cout << entry.name << "\t" << entry.description << "\n";
+  for (const auto& surface : policy::describe_all_surfaces()) {
+    for (const auto& entry : surface.policies) {
+      std::cout << surface.surface << "\t" << entry.name << "\t"
+                << entry.description << "\n";
+    }
   }
   return 0;
 }
@@ -85,13 +92,21 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_double("servers", 40));
     config.shard_count =
         static_cast<std::size_t>(args.get_double("shards", 1));
-    const auto shard_policy =
-        net::parse_shard_policy(args.get("shard-policy", "p2c"));
-    if (!shard_policy.has_value()) {
-      std::cerr << "error: flag --shard-policy: unknown policy\n";
+    const std::string shard_policy_name = args.get("shard-policy", "p2c");
+    const auto shard_policy = net::parse_shard_policy(shard_policy_name);
+    if (!shard_policy.has_value() &&
+        cluster::ShardSelectionRegistry::instance().find(shard_policy_name) ==
+            nullptr) {
+      std::cerr << "error: flag --shard-policy: unknown value '"
+                << shard_policy_name << "' (expected "
+                << policy::joined_policy_names<cluster::ShardSelectionSurface>()
+                << ")\n";
       return 1;
     }
-    config.shard_policy = *shard_policy;
+    // A plugin-registered selector has no enum value; the name field
+    // selects it (ServiceCore gives the name precedence).
+    config.shard_policy = shard_policy.value_or(config.shard_policy);
+    config.shard_policy_name = shard_policy_name;
     config.admission_policy = args.get("admission", "admit-all");
     config.admission.default_ceiling =
         args.get_double("price-ceiling", config.admission.default_ceiling);
