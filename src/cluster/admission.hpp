@@ -206,6 +206,15 @@ class AdmissionController {
     return config_;
   }
 
+  /// Replaces the per-class price ceilings on the live controller. The
+  /// online control plane (src/control) pushes re-optimized ceilings here
+  /// at a tick barrier; already-queued requests re-evaluate against the
+  /// new table on their next drain. Empty reverts every class to
+  /// `default_ceiling`.
+  void set_class_ceilings(std::vector<double> ceilings) noexcept {
+    config_.class_ceilings = std::move(ceilings);
+  }
+
  protected:
   /// Policy hook: admit now (use place()), defer (status Deferred with
   /// retry_at set) or reject. The base implementation admits everything.

@@ -1,0 +1,649 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "transient/bidding.hpp"
+#include "transient/portfolio.hpp"
+#include "transient/revocation.hpp"
+#include "transient/spot_price.hpp"
+
+namespace deflate::control {
+namespace {
+
+/// Mirrors TransientMarketEngine's per-market revocation-stream seeding,
+/// so schedule suffixes regenerated here continue the exact per-server
+/// keyed streams the plan's own schedules were drawn from.
+std::uint64_t market_stream_seed(std::uint64_t seed, std::size_t market) {
+  return seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(market);
+}
+
+/// Mirrors TransientMarketEngine's largest-remainder split (ties to the
+/// lower index) so a `static` forecast reproduces the planned partition
+/// exactly and therefore schedules zero moves.
+std::vector<std::size_t> split_counts(std::size_t total,
+                                      const std::vector<double>& weights) {
+  const std::size_t k = weights.size();
+  std::vector<std::size_t> counts(k, 0);
+  if (k == 0 || total == 0) return counts;
+  double sum = 0.0;
+  for (const double w : weights) sum += std::max(0.0, w);
+  if (sum <= 0.0) {
+    counts[0] = total;
+    return counts;
+  }
+  std::vector<double> remainder(k, 0.0);
+  std::size_t assigned = 0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const double exact =
+        std::max(0.0, weights[m]) / sum * static_cast<double>(total);
+    counts[m] = static_cast<std::size_t>(std::floor(exact));
+    remainder[m] = exact - std::floor(exact);
+    assigned += counts[m];
+  }
+  std::vector<std::size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remainder[a] != remainder[b]) return remainder[a] > remainder[b];
+    return a < b;
+  });
+  for (std::size_t i = 0; assigned < total; ++i) {
+    ++counts[order[i % k]];
+    ++assigned;
+  }
+  return counts;
+}
+
+/// Applies the plan's optimized bids onto a market-def list (the same
+/// re-application TransientMarketEngine::schedule_markets performs).
+void apply_optimized_bids(std::vector<transient::MarketDef>& defs,
+                          const std::vector<double>& optimized_bids) {
+  for (std::size_t m = 0; m < optimized_bids.size() && m < defs.size(); ++m) {
+    defs[m].revocation.bid = optimized_bids[m];
+  }
+}
+
+int plan_event_rank(PlanEvent::Kind kind) noexcept {
+  switch (kind) {
+    case PlanEvent::Kind::Restore:
+      return 0;
+    case PlanEvent::Kind::Warn:
+      return 1;
+    case PlanEvent::Kind::Revoke:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+void apply_regime_shift(transient::CapacityPlan& plan,
+                        const transient::MarketEngineConfig& before,
+                        const RegimeShiftConfig& shift, sim::SimTime horizon) {
+  if (!shift.active() || plan.markets.empty()) return;
+  const sim::SimTime at = sim::SimTime::from_hours(shift.at_hours);
+  if (at >= horizon) return;
+
+  std::vector<transient::MarketDef> defs_after =
+      shift.after.effective_markets();
+  const std::vector<transient::MarketDef> defs_before =
+      before.effective_markets();
+  if (defs_after.size() != plan.markets.size()) {
+    throw std::invalid_argument(
+        "regime shift: the market count must not change mid-run");
+  }
+  for (std::size_t m = 0; m < defs_after.size(); ++m) {
+    if (defs_after[m].price.step != plan.markets[m].prices.step()) {
+      throw std::invalid_argument(
+          "regime shift: the price sampling step must not change mid-run");
+    }
+  }
+  if (defs_after.front().price.on_demand_price !=
+      defs_before.front().price.on_demand_price) {
+    throw std::invalid_argument(
+        "regime shift: the on-demand rate must not change mid-run");
+  }
+
+  // Price traces: realized prefix, new-regime suffix (sample-wise stitch
+  // on the shared step grid).
+  transient::CorrelatedPriceConfig price_config;
+  price_config.markets.reserve(defs_after.size());
+  for (const transient::MarketDef& def : defs_after) {
+    price_config.markets.push_back(def.price);
+  }
+  price_config.correlation = shift.after.correlation;
+  price_config.common_shock_rate_per_hour =
+      shift.after.common_shock_rate_per_hour;
+  price_config.common_shock_multiplier = shift.after.common_shock_multiplier;
+  price_config.common_shock_decay_hours = shift.after.common_shock_decay_hours;
+  const std::vector<transient::PriceTrace> post =
+      transient::CorrelatedPriceModel(std::move(price_config),
+                                      shift.after.seed,
+                                      /*stream=*/0)
+          .generate(horizon);
+
+  for (std::size_t m = 0; m < plan.markets.size(); ++m) {
+    const sim::SimTime step = plan.markets[m].prices.step();
+    std::vector<double> samples = plan.markets[m].prices.samples();
+    const std::vector<double>& post_samples = post[m].samples();
+    const std::size_t cut =
+        static_cast<std::size_t>(at.micros() / step.micros());
+    for (std::size_t i = cut; i < samples.size() && i < post_samples.size();
+         ++i) {
+      samples[i] = post_samples[i];
+    }
+    plan.markets[m].prices = transient::PriceTrace(step, std::move(samples));
+  }
+  plan.prices = plan.markets[0].prices;
+
+  // Revocation schedules: keep every realized event before the shift,
+  // continue each server under the new regime's keyed stream from the
+  // shift on, and repair the held/down alternation at the junction.
+  apply_optimized_bids(defs_after, plan.optimized_bids);
+  plan.revocations.clear();
+  for (std::size_t m = 0; m < plan.markets.size(); ++m) {
+    transient::MarketPlan& market = plan.markets[m];
+    transient::RevocationEngine engine(
+        defs_after[m].revocation, market_stream_seed(shift.after.seed, m));
+    engine.set_price_trace(&market.prices);
+    std::vector<transient::RevocationEvent> rebuilt;
+    rebuilt.reserve(market.revocations.size());
+    for (const std::size_t server : market.servers) {
+      std::vector<transient::RevocationEvent> events;
+      for (const transient::RevocationEvent& event : market.revocations) {
+        if (event.server == server && event.at < at) events.push_back(event);
+      }
+      for (const transient::RevocationEvent& event :
+           engine.schedule_for(server, horizon)) {
+        if (event.at >= at) events.push_back(event);
+      }
+      bool held = true;
+      for (const transient::RevocationEvent& event : events) {
+        if (event.revoke == held) {
+          rebuilt.push_back(event);
+          held = !held;
+        }
+      }
+    }
+    std::sort(rebuilt.begin(), rebuilt.end(), transient::schedule_before);
+    market.revocations = std::move(rebuilt);
+    plan.revocations.insert(plan.revocations.end(), market.revocations.begin(),
+                            market.revocations.end());
+  }
+  std::sort(plan.revocations.begin(), plan.revocations.end(),
+            transient::schedule_before);
+}
+
+FleetController::FleetController(ControlConfig config,
+                                 const transient::MarketEngineConfig& market,
+                                 const transient::CapacityPlan& plan,
+                                 sim::SimTime horizon, bool timed_migration)
+    : config_(std::move(config)),
+      market_(market),
+      plan_(&plan),
+      horizon_(horizon),
+      timed_(timed_migration),
+      shift_at_(config_.regime_shift.active() &&
+                        sim::SimTime::from_hours(config_.regime_shift.at_hours) <
+                            horizon
+                    ? sim::SimTime::from_hours(config_.regime_shift.at_hours)
+                    : sim::SimTime::max()),
+      policy_(make_forecast_policy(config_.forecast)),
+      defs_before_(market_.effective_markets()),
+      defs_after_(config_.regime_shift.active()
+                      ? config_.regime_shift.after.effective_markets()
+                      : std::vector<transient::MarketDef>{}),
+      forecaster_(policy_, config_.ewma_alpha, {}, {}),
+      correlation_(policy_, config_.ewma_alpha, plan.markets.size(),
+                   plan.planned_correlation) {
+  apply_optimized_bids(defs_before_, plan.optimized_bids);
+  apply_optimized_bids(defs_after_, plan.optimized_bids);
+
+  const std::size_t k = plan.markets.size();
+  std::vector<double> planned_rates(k, 0.0);
+  std::vector<double> planned_uptimes(k, 0.0);
+  price_mean_.resize(k, 0.0);
+  price_variance_.resize(k, 0.0);
+  for (std::size_t m = 0; m < k; ++m) {
+    const transient::MarketSpec& spec = plan.markets[m].spec;
+    planned_rates[m] = spec.revocation_rate_per_hour;
+    planned_uptimes[m] = spec.revocation_rate_per_hour > 0.0
+                             ? 1.0 / spec.revocation_rate_per_hour
+                             : 0.0;
+    price_mean_[m] = spec.expected_price;
+    price_variance_[m] = spec.price_variance;
+  }
+  forecaster_ = RevocationForecaster(policy_, config_.ewma_alpha,
+                                     std::move(planned_rates),
+                                     std::move(planned_uptimes));
+  ceilings_ = plan.class_ceilings;
+
+  timelines_.reserve(plan.transient_servers.size());
+  for (std::size_t m = 0; m < k; ++m) {
+    for (const std::size_t server : plan.markets[m].servers) {
+      ServerTimeline timeline;
+      timeline.server = server;
+      timeline.initial_market = m;
+      for (const transient::RevocationEvent& event :
+           plan.markets[m].revocations) {
+        if (event.server == server) {
+          timeline.events.push_back({event.at, event.revoke, m});
+        }
+      }
+      timelines_.push_back(std::move(timeline));
+    }
+  }
+  std::sort(timelines_.begin(), timelines_.end(),
+            [](const ServerTimeline& a, const ServerTimeline& b) {
+              return a.server < b.server;
+            });
+}
+
+FleetController::ServerStatus FleetController::walk_timeline(
+    const ServerTimeline& timeline, sim::SimTime from, sim::SimTime now,
+    std::vector<WindowStats>* stats) const {
+  bool held = true;
+  sim::SimTime held_from;
+  std::size_t market = timeline.initial_market;
+  ServerStatus status;
+  const auto credit_held = [&](sim::SimTime a, sim::SimTime b) {
+    if (stats == nullptr) return;
+    const sim::SimTime lo = std::max(a, from);
+    const sim::SimTime hi = std::min(b, now);
+    if (hi > lo) (*stats)[market].held_hours += (hi - lo).hours();
+  };
+  for (std::size_t e = 0; e < timeline.events.size(); ++e) {
+    const TimelineEvent& event = timeline.events[e];
+    if (event.at > now) {
+      if (event.revoke) {
+        status.has_next_revoke = true;
+        status.next_revoke = event.at;
+        status.next_revoke_market = event.market;
+      }
+      break;
+    }
+    if (event.revoke && held) {
+      credit_held(held_from, event.at);
+      if (stats != nullptr && event.at > from && !event.synthetic) {
+        ++(*stats)[market].revocations;
+        (*stats)[market].uptime_hours_sum += (event.at - held_from).hours();
+        ++(*stats)[market].uptime_count;
+      }
+      held = false;
+    } else if (!event.revoke && !held) {
+      held = true;
+      held_from = event.at;
+      market = event.market;
+    }
+    status.prev_event = event.at;
+  }
+  if (held) credit_held(held_from, now);
+  status.held = held;
+  status.market = market;
+  return status;
+}
+
+std::vector<double> FleetController::window_samples(std::size_t market,
+                                                    sim::SimTime from,
+                                                    sim::SimTime now) const {
+  const transient::PriceTrace& trace = plan_->markets[market].prices;
+  if (trace.empty() || trace.step().micros() <= 0) return {};
+  const auto step = trace.step().micros();
+  const std::size_t begin = static_cast<std::size_t>(from.micros() / step);
+  const std::size_t end = std::min(
+      trace.samples().size(), static_cast<std::size_t>(now.micros() / step));
+  if (begin >= end) return {};
+  return {trace.samples().begin() + static_cast<std::ptrdiff_t>(begin),
+          trace.samples().begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+const std::vector<transient::MarketDef>& FleetController::defs_at(
+    sim::SimTime at) const {
+  return (at >= shift_at_ && !defs_after_.empty()) ? defs_after_
+                                                   : defs_before_;
+}
+
+std::vector<FleetController::TimelineEvent>
+FleetController::environment_schedule(std::size_t market, std::size_t server,
+                                      sim::SimTime from) const {
+  std::vector<transient::RevocationEvent> raw;
+  const bool shifted = shift_at_ < horizon_;
+  const auto collect = [&](const std::vector<transient::MarketDef>& defs,
+                           std::uint64_t seed, sim::SimTime lo,
+                           sim::SimTime hi, bool include_lo) {
+    transient::RevocationEngine engine(defs[market].revocation,
+                                       market_stream_seed(seed, market));
+    engine.set_price_trace(&plan_->markets[market].prices);
+    for (const transient::RevocationEvent& event :
+         engine.schedule_for(server, horizon_)) {
+      const bool above = include_lo ? event.at >= lo : event.at > lo;
+      if (above && event.at < hi) raw.push_back(event);
+    }
+  };
+  if (!shifted) {
+    collect(defs_before_, market_.seed, from, horizon_, false);
+  } else if (from >= shift_at_) {
+    collect(defs_after_, config_.regime_shift.after.seed, from, horizon_,
+            false);
+  } else {
+    collect(defs_before_, market_.seed, from, shift_at_, false);
+    collect(defs_after_, config_.regime_shift.after.seed, shift_at_, horizon_,
+            true);
+  }
+  // The server re-enters the market held; repair the alternation at the
+  // junction (and across the shift) by keeping only state-toggling
+  // events.
+  std::vector<TimelineEvent> out;
+  out.reserve(raw.size());
+  bool held = true;
+  for (const transient::RevocationEvent& event : raw) {
+    if (event.revoke == held) {
+      out.push_back({event.at, event.revoke, market});
+      held = !held;
+    }
+  }
+  return out;
+}
+
+bool FleetController::schedule_move(ServerTimeline& timeline,
+                                    std::size_t from_market,
+                                    std::size_t to_market, sim::SimTime now) {
+  const sim::SimTime eps = sim::SimTime::from_micros(1);
+  const double warn_hours =
+      timed_ ? defs_at(now)[from_market].revocation.warning_hours : 0.0;
+  sim::SimTime revoke_at = now + eps;
+  if (warn_hours > 0.0) revoke_at += sim::SimTime::from_hours(warn_hours);
+  const sim::SimTime restore_at = revoke_at + eps;
+  if (restore_at >= horizon_) return false;
+
+  while (!timeline.events.empty() && timeline.events.back().at > now) {
+    timeline.events.pop_back();
+  }
+  timeline.events.push_back({revoke_at, true, from_market, /*synthetic=*/true});
+  timeline.events.push_back(
+      {restore_at, false, to_market, /*synthetic=*/true});
+  std::vector<TimelineEvent> suffix =
+      environment_schedule(to_market, timeline.server, restore_at);
+  timeline.events.insert(timeline.events.end(), suffix.begin(), suffix.end());
+  timeline.move_until = restore_at;
+  return true;
+}
+
+std::vector<PlanEvent> FleetController::rebuild_future_events(
+    sim::SimTime now) const {
+  std::vector<PlanEvent> out;
+  for (const ServerTimeline& timeline : timelines_) {
+    for (std::size_t e = 0; e < timeline.events.size(); ++e) {
+      const TimelineEvent& event = timeline.events[e];
+      if (event.at <= now) continue;
+      out.push_back({event.at,
+                     event.revoke ? PlanEvent::Kind::Revoke
+                                  : PlanEvent::Kind::Restore,
+                     timeline.server,
+                     sim::SimTime{}});
+      if (event.revoke && timed_) {
+        // Mirror the simulator's warn synthesis exactly: warn at
+        // deadline minus the market's warning window, clamped to the
+        // server's previous event and t=0; a warn that would land at or
+        // before `now` already fired and must not be re-emitted.
+        const double warn_hours =
+            event.market < defs_before_.size()
+                ? defs_before_[event.market].revocation.warning_hours
+                : 0.0;
+        if (warn_hours > 0.0) {
+          sim::SimTime warn_at =
+              event.at - sim::SimTime::from_hours(warn_hours);
+          const sim::SimTime prev =
+              e > 0 ? timeline.events[e - 1].at : sim::SimTime{};
+          if (warn_at < prev) warn_at = prev;
+          if (warn_at < sim::SimTime{}) warn_at = sim::SimTime{};
+          if (warn_at > now && warn_at < event.at) {
+            out.push_back(
+                {warn_at, PlanEvent::Kind::Warn, timeline.server, event.at});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const PlanEvent& a, const PlanEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    const int ra = plan_event_rank(a.kind);
+    const int rb = plan_event_rank(b.kind);
+    if (ra != rb) return ra < rb;
+    return a.server < b.server;
+  });
+  return out;
+}
+
+ReoptResult FleetController::reoptimize(sim::SimTime now) {
+  ++reopts_;
+  const sim::SimTime from = window_from_;
+  const std::size_t k = plan_->markets.size();
+  ReoptResult out;
+
+  // 1. Fold the closed window's realized history into the estimators.
+  std::vector<WindowStats> stats(k);
+  std::vector<ServerStatus> status(timelines_.size());
+  for (std::size_t i = 0; i < timelines_.size(); ++i) {
+    status[i] = walk_timeline(timelines_[i], from, now, &stats);
+  }
+  std::vector<std::vector<double>> samples(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    samples[m] = window_samples(m, from, now);
+  }
+  for (std::size_t m = 0; m < k; ++m) {
+    forecaster_.observe_window(m, stats[m].revocations, stats[m].held_hours,
+                               stats[m].uptime_hours_sum,
+                               stats[m].uptime_count);
+    std::optional<double> realized_mean;
+    std::optional<double> realized_variance;
+    if (const auto mv = window_mean_variance(samples[m])) {
+      realized_mean = mv->first;
+      realized_variance = mv->second;
+    }
+    const transient::MarketSpec& planned = plan_->markets[m].spec;
+    price_mean_[m] = policy_->update(planned.expected_price, price_mean_[m],
+                                     realized_mean, config_.ewma_alpha);
+    price_variance_[m] =
+        policy_->update(planned.price_variance, price_variance_[m],
+                        realized_variance, config_.ewma_alpha);
+  }
+  correlation_.observe_window(samples);
+
+  // 2. Re-run the portfolio against the forecasts. The on-demand /
+  // transient split is fixed for the run (on-demand servers are sunk
+  // capacity); re-optimization redistributes the transient fleet across
+  // the markets by the fresh relative weights.
+  std::vector<transient::MarketSpec> specs(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    specs[m] = plan_->markets[m].spec;
+    specs[m].expected_price = price_mean_[m];
+    specs[m].price_variance = price_variance_[m];
+    specs[m].revocation_rate_per_hour = forecaster_.rate_per_hour(m);
+  }
+  std::vector<double> target_weights(k, 0.0);
+  if (market_.use_portfolio) {
+    const transient::PortfolioManager manager(market_.portfolio);
+    // Mirror plan(): the legacy single market keeps the scalar
+    // correlation path so a `static` forecast reproduces it bit-exactly.
+    const transient::PortfolioResult result =
+        market_.markets.empty()
+            ? manager.optimize(specs)
+            : manager.optimize(specs, correlation_.forecast());
+    for (std::size_t m = 0; m < k; ++m) {
+      target_weights[m] = result.weights[m + 1];
+    }
+  } else {
+    for (std::size_t m = 0; m < k; ++m) {
+      target_weights[m] = plan_->markets[m].weight;
+    }
+  }
+
+  // 3. Fresh per-class admission ceilings from the window's realized
+  // prices (pushed at the Reopt tick barrier; identical values under a
+  // degenerate window or the `static` policy).
+  if (market_.optimize_bids && !ceilings_.empty()) {
+    std::vector<std::optional<double>> realized(ceilings_.size());
+    bool window_ok = true;
+    for (std::size_t m = 0; m < k; ++m) {
+      if (samples[m].size() < 2) window_ok = false;
+    }
+    if (window_ok) {
+      transient::BidOptimizerConfig bidding = market_.bidding;
+      bidding.on_demand_price = defs_at(now).front().price.on_demand_price;
+      const transient::BidOptimizer optimizer(bidding);
+      double weight_sum = 0.0;
+      for (const double w : target_weights) weight_sum += std::max(0.0, w);
+      std::vector<std::vector<transient::ClassBid>> bids(k);
+      for (std::size_t m = 0; m < k; ++m) {
+        bids[m] = optimizer.optimize_classes(
+            transient::PriceTrace(plan_->markets[m].prices.step(), samples[m]),
+            defs_at(now)[m].revocation);
+      }
+      for (std::size_t c = 0; c < realized.size(); ++c) {
+        double ceiling = 0.0;
+        bool have = true;
+        for (std::size_t m = 0; m < k; ++m) {
+          if (c >= bids[m].size()) {
+            have = false;
+            break;
+          }
+          const double w = weight_sum > 0.0
+                               ? std::max(0.0, target_weights[m]) / weight_sum
+                               : 1.0 / static_cast<double>(k);
+          ceiling += w * bids[m][c].bid;
+        }
+        if (have) realized[c] = ceiling;
+      }
+    }
+    for (std::size_t c = 0; c < ceilings_.size(); ++c) {
+      ceilings_[c] = policy_->update(plan_->class_ceilings[c], ceilings_[c],
+                                     realized[c], config_.ewma_alpha);
+    }
+    out.ceilings_updated = true;
+    out.class_ceilings = ceilings_;
+  }
+
+  // 4. Delta execution: rate-limited drains toward the fresh partition,
+  // never an instant repartition.
+  if (market_.use_portfolio && config_.max_moves_per_window > 0 && k > 1 &&
+      !timelines_.empty()) {
+    std::vector<long long> delta(k, 0);
+    for (const ServerStatus& s : status) ++delta[s.market];
+    const std::vector<std::size_t> target =
+        split_counts(timelines_.size(), target_weights);
+    if (std::getenv("DEFLATE_CONTROL_DEBUG") != nullptr) {
+      std::fprintf(stderr, "reopt t=%.1fh\n", now.hours());
+      for (std::size_t m = 0; m < k; ++m) {
+        std::fprintf(stderr,
+                     "  m%zu mean=%.3f var=%.4f rate=%.3f w=%.3f cur=%lld "
+                     "target=%zu\n",
+                     m, price_mean_[m], price_variance_[m],
+                     forecaster_.rate_per_hour(m), target_weights[m], delta[m],
+                     target[m]);
+      }
+    }
+    for (std::size_t m = 0; m < k; ++m) {
+      delta[m] -= static_cast<long long>(target[m]);
+    }
+    std::size_t budget = config_.max_moves_per_window;
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < timelines_.size() && budget > 0; ++i) {
+      const ServerStatus& s = status[i];
+      if (!s.held || delta[s.market] <= 0) continue;
+      if (timelines_[i].move_until > now) continue;
+      std::size_t dst = k;
+      for (std::size_t m = 0; m < k; ++m) {
+        if (delta[m] < 0) {
+          dst = m;
+          break;
+        }
+      }
+      if (dst == k) break;
+      // A server the market itself will revoke before the drain could
+      // complete cannot be moved (this also skips drains already in
+      // their warning window).
+      const double warn_hours =
+          timed_ ? defs_at(now)[s.market].revocation.warning_hours : 0.0;
+      sim::SimTime drain_end = now + sim::SimTime::from_micros(2);
+      if (warn_hours > 0.0) drain_end += sim::SimTime::from_hours(warn_hours);
+      if (s.has_next_revoke && s.next_revoke <= drain_end) continue;
+      if (!schedule_move(timelines_[i], s.market, dst, now)) continue;
+      --delta[s.market];
+      ++delta[dst];
+      --budget;
+      ++moved;
+    }
+    if (moved > 0) {
+      total_moves_ += moved;
+      out.moves = moved;
+      out.schedule_rewritten = true;
+      out.future_events = rebuild_future_events(now);
+    }
+  }
+
+  window_from_ = now;
+  return out;
+}
+
+transient::CostReport FleetController::cost_report(double cores_per_server,
+                                                   sim::SimTime horizon) const {
+  transient::CostReport report;
+  const double hours = horizon.hours();
+  if (hours <= 0.0 || cores_per_server <= 0.0) return report;
+  const double on_demand_rate = defs_before_.front().price.on_demand_price;
+  const std::size_t fleet =
+      plan_->on_demand_servers + plan_->transient_servers.size();
+
+  report.on_demand_core_hours =
+      static_cast<double>(plan_->on_demand_servers) * cores_per_server * hours;
+  report.on_demand_cost = report.on_demand_core_hours * on_demand_rate;
+  report.all_on_demand_cost =
+      static_cast<double>(fleet) * cores_per_server * hours * on_demand_rate;
+
+  const std::size_t k = plan_->markets.size();
+  report.per_market.resize(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    report.per_market[m].name = plan_->markets[m].name;
+  }
+  // Held-interval billing, segment-aware: each held span is billed at
+  // the spot price of the market the server occupied during that span.
+  // Timelines iterate in ascending server order, so the summation order
+  // — and the report — is deterministic.
+  for (const ServerTimeline& timeline : timelines_) {
+    bool held = true;
+    sim::SimTime held_from;
+    std::size_t market = timeline.initial_market;
+    const auto bill = [&](sim::SimTime until) {
+      transient::CostReport::MarketCost& entry = report.per_market[market];
+      entry.cost += plan_->markets[market].prices.integral_over(held_from,
+                                                                until) *
+                    cores_per_server;
+      entry.core_hours += (until - held_from).hours() * cores_per_server;
+    };
+    for (const TimelineEvent& event : timeline.events) {
+      if (event.revoke && held) {
+        bill(event.at);
+        held = false;
+      } else if (!event.revoke && !held) {
+        held = true;
+        held_from = event.at;
+        market = event.market;
+      }
+    }
+    if (held) bill(horizon);
+    ++report.per_market[market].servers;
+  }
+  for (const transient::CostReport::MarketCost& entry : report.per_market) {
+    report.transient_cost += entry.cost;
+    report.transient_core_hours += entry.core_hours;
+  }
+  return report;
+}
+
+}  // namespace deflate::control

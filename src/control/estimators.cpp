@@ -1,0 +1,226 @@
+#include "control/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace deflate::control {
+namespace {
+
+/// Identity matrix of order k (the degenerate / empty-plan correlation).
+std::vector<std::vector<double>> identity(std::size_t k) {
+  std::vector<std::vector<double>> out(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) out[i][i] = 1.0;
+  return out;
+}
+
+/// Cyclic Jacobi eigendecomposition of a small symmetric matrix.
+/// Deterministic sweep order (row-major upper triangle), fixed sweep
+/// budget; plenty for the <= a-dozen-market matrices this sees.
+void jacobi_eigen(std::vector<std::vector<double>> a,
+                  std::vector<double>& eigenvalues,
+                  std::vector<std::vector<double>>& eigenvectors) {
+  const std::size_t n = a.size();
+  eigenvectors = identity(n);
+  constexpr int kSweeps = 64;
+  constexpr double kTolerance = 1e-14;
+  for (int sweep = 0; sweep < kSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < kTolerance) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-18) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = eigenvectors[k][p];
+          const double vkq = eigenvectors[k][q];
+          eigenvectors[k][p] = c * vkp - s * vkq;
+          eigenvectors[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = a[i][i];
+}
+
+/// Pearson correlation of two aligned sample windows; nullopt when the
+/// overlap is shorter than two samples or either side is constant.
+std::optional<double> window_correlation(const std::vector<double>& x,
+                                         const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return std::nullopt;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_x = 0.0;
+  double var_y = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return std::nullopt;
+  return std::clamp(cov / std::sqrt(var_x * var_y), -1.0, 1.0);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> psd_project(
+    std::vector<std::vector<double>> matrix) {
+  const std::size_t n = matrix.size();
+  if (n == 0) return matrix;
+  if (n == 1) return {{1.0}};
+  // Symmetrize first: windowed estimates are symmetric by construction,
+  // but blending round-off should not leak into the eigensolver.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double m = 0.5 * (matrix[i][j] + matrix[j][i]);
+      matrix[i][j] = m;
+      matrix[j][i] = m;
+    }
+  }
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> v;
+  jacobi_eigen(matrix, eigenvalues, v);
+  for (double& lambda : eigenvalues) lambda = std::max(lambda, 0.0);
+  std::vector<std::vector<double>> out(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += v[i][k] * eigenvalues[k] * v[j][k];
+      }
+      out[i][j] = sum;
+    }
+  }
+  // Renormalize to a correlation matrix. A zero diagonal entry means the
+  // row was annihilated by the clamp; pin it to the identity row.
+  std::vector<double> scale(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scale[i] = out[i][i] > 1e-12 ? 1.0 / std::sqrt(out[i][i]) : 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        out[i][j] = 1.0;
+      } else if (scale[i] == 0.0 || scale[j] == 0.0) {
+        out[i][j] = 0.0;
+      } else {
+        out[i][j] = std::clamp(out[i][j] * scale[i] * scale[j], -1.0, 1.0);
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::pair<double, double>> window_mean_variance(
+    const std::vector<double>& samples) {
+  if (samples.size() < 2) return std::nullopt;
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double variance = 0.0;
+  for (double s : samples) variance += (s - mean) * (s - mean);
+  variance /= static_cast<double>(samples.size());
+  return std::make_pair(mean, variance);
+}
+
+RevocationForecaster::RevocationForecaster(
+    std::shared_ptr<const ForecastPolicy> policy, double alpha,
+    std::vector<double> planned_rates, std::vector<double> planned_uptime_hours)
+    : policy_(std::move(policy)),
+      alpha_(alpha),
+      planned_rates_(std::move(planned_rates)),
+      planned_uptimes_(std::move(planned_uptime_hours)),
+      rates_(planned_rates_),
+      uptimes_(planned_uptimes_) {
+  if (planned_uptimes_.size() != planned_rates_.size()) {
+    planned_uptimes_.resize(planned_rates_.size(), 0.0);
+    uptimes_ = planned_uptimes_;
+  }
+}
+
+void RevocationForecaster::observe_window(std::size_t market,
+                                          std::size_t revocations,
+                                          double held_hours,
+                                          double uptime_hours_sum,
+                                          std::size_t uptime_count) {
+  if (market >= rates_.size()) return;
+  std::optional<double> realized_rate;
+  if (revocations > 0 && held_hours > 0.0) {
+    realized_rate = static_cast<double>(revocations) / held_hours;
+  }
+  rates_[market] = policy_->update(planned_rates_[market], rates_[market],
+                                   realized_rate, alpha_);
+  std::optional<double> realized_uptime;
+  if (uptime_count > 0) {
+    realized_uptime = uptime_hours_sum / static_cast<double>(uptime_count);
+  }
+  uptimes_[market] = policy_->update(planned_uptimes_[market], uptimes_[market],
+                                     realized_uptime, alpha_);
+}
+
+double RevocationForecaster::rate_per_hour(std::size_t market) const {
+  return market < rates_.size() ? rates_[market] : 0.0;
+}
+
+double RevocationForecaster::mean_uptime_hours(std::size_t market) const {
+  return market < uptimes_.size() ? uptimes_[market] : 0.0;
+}
+
+CorrelationEstimator::CorrelationEstimator(
+    std::shared_ptr<const ForecastPolicy> policy, double alpha,
+    std::size_t markets, std::vector<std::vector<double>> planned)
+    : policy_(std::move(policy)), alpha_(alpha), planned_(std::move(planned)) {
+  if (planned_.size() != markets) planned_ = identity(markets);
+  blended_ = planned_;
+  forecast_ = psd_project(blended_);
+}
+
+void CorrelationEstimator::observe_window(
+    const std::vector<std::vector<double>>& samples) {
+  const std::size_t k = blended_.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      std::optional<double> realized;
+      if (i < samples.size() && j < samples.size()) {
+        realized = window_correlation(samples[i], samples[j]);
+      }
+      const double next = policy_->update(planned_[i][j], blended_[i][j],
+                                          realized, alpha_);
+      blended_[i][j] = next;
+      blended_[j][i] = next;
+    }
+  }
+  forecast_ = psd_project(blended_);
+}
+
+}  // namespace deflate::control

@@ -1,0 +1,117 @@
+// Online estimators feeding the rolling re-optimization loop.
+//
+// Each estimator folds one closed window of realized history into a
+// forecast through a pluggable ForecastPolicy (forecast.hpp):
+//
+//   RevocationForecaster   per-market Poisson revocation rate fitted as
+//                          observed revocations / held server-hours, plus
+//                          the mean realized uptime (restore-to-revoke
+//                          survival) as the temporal-constraint
+//                          observable of Kadupitiya et al.
+//   CorrelationEstimator   windowed empirical correlation matrix over
+//                          realized per-market price samples, projected
+//                          to the PSD cone before the portfolio
+//                          optimizer may consume it.
+//
+// Degeneracy contract (tested in tests/test_control.cpp): a window with
+// no usable signal — zero revocations, zero held hours, fewer than two
+// price samples, a constant (zero-variance) trace, a single market —
+// yields a *missing* observation, and the ForecastPolicy falls back to
+// the previous forecast (planned at bottom). Estimates are always
+// finite; nothing here throws on degenerate input.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "control/forecast.hpp"
+
+namespace deflate::control {
+
+/// Projects a symmetric matrix onto the positive-semidefinite cone and
+/// renormalizes it to a correlation matrix (unit diagonal, entries
+/// clamped to [-1, 1]). Eigenvalues are found by cyclic Jacobi rotation
+/// (the matrices here are tiny — one row per market), negatives clamped
+/// to zero, and the matrix reconstructed. Rank-deficient input (e.g. two
+/// perfectly correlated markets) is already PSD and passes through
+/// unchanged up to round-off.
+[[nodiscard]] std::vector<std::vector<double>> psd_project(
+    std::vector<std::vector<double>> matrix);
+
+/// Mean and (population) variance of a sample window; nullopt when the
+/// window holds fewer than two samples. A constant window reports zero
+/// variance but a valid mean.
+[[nodiscard]] std::optional<std::pair<double, double>> window_mean_variance(
+    const std::vector<double>& samples);
+
+/// Per-market revocation-rate forecaster. Feed one closed window per
+/// market per step; read the blended rate back for the optimizer.
+class RevocationForecaster {
+ public:
+  /// `planned_rates` / `planned_uptimes` come from the t=0 plan's
+  /// MarketSpec estimates; they seed the forecast chain and remain the
+  /// fallback while windows stay empty.
+  RevocationForecaster(std::shared_ptr<const ForecastPolicy> policy,
+                       double alpha, std::vector<double> planned_rates,
+                       std::vector<double> planned_uptime_hours);
+
+  /// Folds one window in: `revocations` observed revoke events,
+  /// `held_hours` the integral of held servers over the window,
+  /// `uptime_hours_sum` the summed realized uptimes of the spans those
+  /// revocations ended (over `uptime_count` spans). Zero observed
+  /// revocations is treated as *no* evidence — the realized rate is
+  /// missing, not zero — so calm windows fall back to the planned rate
+  /// instead of convincing the optimizer revocations stopped.
+  void observe_window(std::size_t market, std::size_t revocations,
+                      double held_hours, double uptime_hours_sum,
+                      std::size_t uptime_count);
+
+  [[nodiscard]] double rate_per_hour(std::size_t market) const;
+  [[nodiscard]] double mean_uptime_hours(std::size_t market) const;
+  [[nodiscard]] std::size_t markets() const { return rates_.size(); }
+
+ private:
+  std::shared_ptr<const ForecastPolicy> policy_;
+  double alpha_;
+  std::vector<double> planned_rates_;
+  std::vector<double> planned_uptimes_;
+  std::vector<double> rates_;
+  std::vector<double> uptimes_;
+};
+
+/// Windowed empirical correlation over realized per-market price
+/// samples, blended elementwise through the ForecastPolicy and
+/// PSD-projected before use. A 1x1 fleet is always [[1.0]].
+class CorrelationEstimator {
+ public:
+  /// `planned` is the correlation matrix the t=0 plan optimized against
+  /// (empty means identity). It seeds the forecast and anchors the
+  /// `static` policy.
+  CorrelationEstimator(std::shared_ptr<const ForecastPolicy> policy,
+                       double alpha, std::size_t markets,
+                       std::vector<std::vector<double>> planned);
+
+  /// Folds one window of aligned per-market samples in. Pairs whose
+  /// window is degenerate (fewer than two aligned samples, or either
+  /// trace constant over the window) keep their previous forecast.
+  void observe_window(const std::vector<std::vector<double>>& samples);
+
+  /// The blended, PSD-projected, unit-diagonal forecast.
+  [[nodiscard]] const std::vector<std::vector<double>>& forecast() const {
+    return forecast_;
+  }
+
+ private:
+  std::shared_ptr<const ForecastPolicy> policy_;
+  double alpha_;
+  std::vector<std::vector<double>> planned_;
+  /// Raw blended entries (pre-projection) so one noisy window cannot
+  /// permanently distort later blends through the projection step.
+  std::vector<std::vector<double>> blended_;
+  std::vector<std::vector<double>> forecast_;
+};
+
+}  // namespace deflate::control

@@ -49,6 +49,14 @@ bool Client::handle(Message message) {
     last_place_ = *place;
     return true;
   }
+  if (const auto* report =
+          std::get_if<cluster::wire::UtilizationReport>(&message)) {
+    // Interleaved telemetry (codec v3): count and keep the latest; it is
+    // never what a read_until predicate waits for.
+    last_telemetry_ = *report;
+    ++telemetry_reports_;
+    return true;
+  }
   if (std::holds_alternative<Bye>(message)) {
     saw_bye_ = true;
     return true;
@@ -95,6 +103,14 @@ std::optional<cluster::wire::PlaceResponse> Client::place(
     return std::nullopt;
   }
   return last_place_;
+}
+
+bool Client::request_telemetry(std::uint32_t every) {
+  Hello hello;
+  hello.server = "client";
+  hello.telemetry_every = every;
+  const auto frame = encode_frame(Message{hello});
+  return socket_.send_all(frame.data(), frame.size());
 }
 
 bool Client::shutdown_server() {

@@ -54,6 +54,21 @@ class Client {
   /// Sends Shutdown and waits for the Bye.
   [[nodiscard]] bool shutdown_server();
 
+  /// Subscribes this connection to periodic telemetry: the server will
+  /// interleave one aggregate UtilizationReport after every `every`
+  /// admission decisions (0 cancels). Fire-and-forget — the subscription
+  /// Hello has no acknowledgement; false only on a send failure.
+  [[nodiscard]] bool request_telemetry(std::uint32_t every);
+
+  /// Telemetry frames received so far, and the latest one.
+  [[nodiscard]] std::uint64_t telemetry_reports() const noexcept {
+    return telemetry_reports_;
+  }
+  [[nodiscard]] const std::optional<cluster::wire::UtilizationReport>&
+  last_telemetry() const noexcept {
+    return last_telemetry_;
+  }
+
   /// Latest decision per request id (deferral updates overwrite).
   [[nodiscard]] const std::map<std::uint64_t, cluster::AdmissionDecision>&
   decisions() const noexcept {
@@ -87,6 +102,8 @@ class Client {
   std::map<std::uint64_t, cluster::AdmissionDecision> decisions_;
   std::map<std::uint64_t, cluster::AdmissionDecision> resolved_;
   std::optional<cluster::wire::PlaceResponse> last_place_;
+  std::optional<cluster::wire::UtilizationReport> last_telemetry_;
+  std::uint64_t telemetry_reports_ = 0;
   bool saw_hello_ = false;
   bool saw_bye_ = false;
   std::optional<ErrorMsg> last_error_;

@@ -183,6 +183,7 @@ struct PayloadEncoder {
       w.u32(static_cast<std::uint32_t>(surface.policies.size()));
       for (const std::string& name : surface.policies) w.str(name);
     }
+    w.u32(m.telemetry_every);
   }
   void operator()(const ErrorMsg& m) {
     w.u32(m.code);
@@ -265,6 +266,7 @@ std::optional<Message> decode_payload(MsgType type, const std::uint8_t* data,
         }
         if (ok) m.surfaces.push_back(std::move(surface));
       }
+      ok = ok && r.u32(m.telemetry_every);
       out = std::move(m);
       break;
     }

@@ -34,7 +34,9 @@ namespace deflate::net {
 inline constexpr std::uint8_t kFrameMagic = 0xDF;
 /// Bumped whenever the frame layout or any payload encoding changes.
 /// v2: Hello advertises every policy registry surface (Hello::surfaces).
-inline constexpr std::uint8_t kCodecVersion = 2;
+/// v3: Hello carries `telemetry_every` — a client's Hello subscribes the
+///     connection to periodic UtilizationReport telemetry frames.
+inline constexpr std::uint8_t kCodecVersion = 3;
 /// Hard cap on advertised surfaces in a Hello (decode rejects above it).
 inline constexpr std::uint32_t kMaxHelloSurfaces = 64;
 /// Hard upper bound on payload length; a length field above this is
@@ -74,9 +76,15 @@ struct Hello {
   std::string admission_policy;       ///< policy this server decides with
   std::vector<std::string> policies;  ///< admission policy names (legacy)
   /// v2: every policy registry surface in the process (admission,
-  /// placement, shard-selection, migration, revocation — plus whatever
-  /// plugins registered), each with its full policy-name list.
+  /// placement, shard-selection, migration, revocation, control — plus
+  /// whatever plugins registered), each with its full policy-name list.
   std::vector<PolicySurface> surfaces;
+  /// v3: telemetry subscription. Meaningful on a *client* Hello (the only
+  /// frame a client may send before its first request): a non-zero value
+  /// asks the server to interleave one aggregate UtilizationReport after
+  /// every `telemetry_every` admission decisions on this connection.
+  /// Zero (default, and on server Hellos) means no telemetry.
+  std::uint32_t telemetry_every = 0;
 };
 
 struct ErrorMsg {

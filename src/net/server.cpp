@@ -1,5 +1,7 @@
 #include "net/server.hpp"
 
+#include <algorithm>
+
 #include "net/registry.hpp"
 #include "policy/catalog.hpp"
 
@@ -71,6 +73,11 @@ void Server::serve_connection(std::uint32_t conn_id,
   /// vm id -> client request id: drained resolutions echo the id the
   /// client attached when it submitted the (then deferred) request.
   std::map<std::uint64_t, std::uint64_t> request_ids;
+  /// Telemetry subscription (codec v3): a client Hello with a non-zero
+  /// `telemetry_every` asks for one aggregate UtilizationReport after
+  /// every N admission decisions on this connection.
+  std::uint32_t telemetry_every = 0;
+  std::uint32_t telemetry_countdown = 0;
   FrameBuffer frames;
   std::vector<std::uint8_t> out;
   std::uint8_t chunk[16384];
@@ -131,9 +138,22 @@ void Server::serve_connection(std::uint32_t conn_id,
         if (capture_ != nullptr) capture_->record(conn_id, frame);
         append(frame);
         ++sent_decisions;
+        // Interleaved telemetry: after every `telemetry_every` requests a
+        // subscribed connection gets one fleet-wide utilization frame,
+        // snapshotted under the same admission mutex as the decision it
+        // follows. Telemetry frames are not captured: replaying a capture
+        // must reproduce the decision stream regardless of who was
+        // subscribed to what.
+        bool telemetry_due = false;
+        if (telemetry_every != 0 && ++telemetry_countdown >= telemetry_every) {
+          telemetry_countdown = 0;
+          telemetry_due = true;
+          append(encode_frame(Message{fleet_utilization()}));
+        }
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++stats_.admission_requests;
         stats_.decisions += sent_decisions;
+        if (telemetry_due) ++stats_.telemetry_reports;
       } else if (const auto* place =
                      std::get_if<cluster::wire::PlaceRequest>(
                          &result.message)) {
@@ -160,6 +180,12 @@ void Server::serve_connection(std::uint32_t conn_id,
         append(encode_frame(Message{response}));
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++stats_.place_requests;
+      } else if (const auto* hello = std::get_if<Hello>(&result.message)) {
+        // A client Hello is a subscription update: it (re)arms or cancels
+        // the periodic telemetry stream for this connection. Nothing is
+        // answered — the next due report is the acknowledgement.
+        telemetry_every = hello->telemetry_every;
+        telemetry_countdown = 0;
       } else if (std::holds_alternative<Shutdown>(result.message)) {
         append(encode_frame(Message{Bye{}}));
         close_connection = true;
@@ -185,6 +211,28 @@ void Server::serve_connection(std::uint32_t conn_id,
     shutdown_requested_ = true;
     shutdown_cv_.notify_all();
   }
+}
+
+cluster::wire::UtilizationReport Server::fleet_utilization() {
+  cluster::wire::UtilizationReport report;
+  report.host_id = kFleetTelemetryHostId;
+  cluster::ClusterManagerBase& manager = core_.manager();
+  res::ResourceVector capacity;
+  for (std::size_t s = 0; s < manager.server_count(); ++s) {
+    if (!manager.server_active(s)) continue;
+    const hv::Host& host = manager.host(s);
+    report.available += host.available();
+    report.committed += host.committed();
+    capacity += host.capacity();
+  }
+  double worst = 0.0;
+  for (const res::Resource r : {res::Resource::Cpu, res::Resource::Memory}) {
+    if (capacity[r] > 0.0) {
+      worst = std::max(worst, report.committed[r] / capacity[r]);
+    }
+  }
+  report.overcommit_ratio = worst;
+  return report;
 }
 
 void Server::wait() {

@@ -30,6 +30,7 @@
 #include <mutex>
 #include <thread>
 
+#include "cluster/wire.hpp"
 #include "net/capture.hpp"
 #include "net/service.hpp"
 #include "net/socket.hpp"
@@ -37,12 +38,18 @@
 
 namespace deflate::net {
 
+/// Sentinel host id on aggregate (fleet-wide) UtilizationReport telemetry
+/// frames, distinguishing them from any real per-server report.
+inline constexpr std::uint64_t kFleetTelemetryHostId =
+    ~static_cast<std::uint64_t>(0);
+
 struct ServerStats {
   std::uint64_t connections = 0;
   std::uint64_t admission_requests = 0;
   std::uint64_t decisions = 0;  ///< direct + drained resolutions sent
   std::uint64_t place_requests = 0;
   std::uint64_t malformed_frames = 0;
+  std::uint64_t telemetry_reports = 0;  ///< aggregate utilization frames sent
 };
 
 class Server {
@@ -77,6 +84,11 @@ class Server {
  private:
   void accept_loop();
   void serve_connection(std::uint32_t conn_id, std::shared_ptr<Socket> socket);
+  /// Fleet-wide utilization snapshot (host_id = kFleetTelemetryHostId:
+  /// available/committed summed over active servers, worst per-resource
+  /// commit ratio). Caller must hold admission_mutex_ — the manager is
+  /// shared state.
+  [[nodiscard]] cluster::wire::UtilizationReport fleet_utilization();
 
   ServiceCore core_;
   std::unique_ptr<CaptureWriter> capture_;

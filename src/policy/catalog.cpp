@@ -4,6 +4,7 @@
 #include "cluster/migration.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/sharded_manager.hpp"
+#include "control/forecast.hpp"
 #include "transient/revocation.hpp"
 
 namespace deflate::policy {
@@ -32,6 +33,7 @@ std::vector<SurfaceInfo> describe_all_surfaces() {
   surfaces.push_back(describe_surface<cluster::ShardSelectionSurface>());
   surfaces.push_back(describe_surface<cluster::MigrationSurface>());
   surfaces.push_back(describe_surface<transient::RevocationSurface>());
+  surfaces.push_back(describe_surface<control::ControlSurface>());
   return surfaces;
 }
 

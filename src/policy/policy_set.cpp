@@ -4,6 +4,7 @@
 #include "cluster/migration.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/sharded_manager.hpp"
+#include "control/forecast.hpp"
 #include "policy/registry.hpp"
 #include "transient/revocation.hpp"
 
@@ -19,7 +20,7 @@ double PolicyChoice::param_or(const std::string& key,
 
 bool PolicySet::empty() const noexcept {
   return admission.empty() && placement.empty() && shard_selection.empty() &&
-         migration.empty() && revocation.empty();
+         migration.empty() && revocation.empty() && control.empty();
 }
 
 namespace {
@@ -71,6 +72,7 @@ std::vector<std::string> PolicySet::validate() const {
   validate_choice<cluster::ShardSelectionSurface>(shard_selection, errors);
   validate_choice<cluster::MigrationSurface>(migration, errors);
   validate_choice<transient::RevocationSurface>(revocation, errors);
+  validate_choice<control::ControlSurface>(control, errors);
   return errors;
 }
 

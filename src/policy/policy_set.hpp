@@ -29,13 +29,15 @@ struct PolicyChoice {
                                 double fallback) const noexcept;
 };
 
-/// Selections for all five registered surfaces.
+/// Selections for all six registered surfaces.
 struct PolicySet {
   PolicyChoice admission;
   PolicyChoice placement;
   PolicyChoice shard_selection;
   PolicyChoice migration;
   PolicyChoice revocation;
+  /// The online control plane's forecast policy (src/control).
+  PolicyChoice control;
 
   [[nodiscard]] bool empty() const noexcept;
 

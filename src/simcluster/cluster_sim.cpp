@@ -69,6 +69,11 @@ void apply_policy_set(SimConfig& config) {
     config.admission.max_defer_hours =
         set.admission.param_or("max_defer_hours", config.admission.max_defer_hours);
   }
+  if (!set.control.empty()) {
+    config.control.forecast = set.control.name;
+    config.control.ewma_alpha =
+        set.control.param_or("alpha", config.control.ewma_alpha);
+  }
 }
 
 cluster::ClusterConfig make_cluster_config(
@@ -193,6 +198,17 @@ void TraceDrivenSimulator::init_common() {
     }
   }
 
+  // Mid-run regime shift: stitch the environment change into the plan's
+  // price traces and revocation schedules *before* anything downstream
+  // (the admission price feed, the plan-event queue, the controller)
+  // captures pointers into them. Applied whether or not the controller
+  // is enabled, so a static t=0 plan and a rolling re-optimized run face
+  // the same realized world.
+  if (plan_ && config_.control.regime_shift.active()) {
+    control::apply_regime_shift(*plan_, config_.market,
+                                config_.control.regime_shift, horizon_);
+  }
+
   // Admission stage: AdmitAll quotes prices but defers nothing; the
   // price-aware policies quote off the plan's market traces (pointers into
   // plan_, which outlives the controller). BidOptimized pulls its ceilings
@@ -223,6 +239,23 @@ void TraceDrivenSimulator::init_common() {
             : cluster::make_admission_controller_by_name(
                   config_.policies.admission.name, admission, *manager_,
                   std::move(feed));
+  }
+
+  // Online control plane: wakes every `control.reopt_hours` of simulated
+  // time (Reopt events, canonically ordered after the tick's
+  // revocations, before its arrivals). Needs a market plan with at least
+  // one market to re-optimize against; with none the controller is
+  // simply absent and the run takes the legacy one-shot path.
+  if (config_.control.enabled && plan_ && !plan_->markets.empty()) {
+    controller_ = std::make_unique<control::FleetController>(
+        config_.control, config_.market, *plan_, horizon_, timed_migration());
+    if (config_.control.reopt_active()) {
+      const sim::SimTime window =
+          sim::SimTime::from_hours(config_.control.reopt_hours);
+      // A window that rounds to zero microseconds would re-optimize
+      // forever at t=0; treat it as inactive, like reopt_hours <= 0.
+      if (window > sim::SimTime{} && window < horizon_) next_reopt_ = window;
+    }
   }
 
   // Track allocation changes (deflation *and* reinflation) per VM.
@@ -563,6 +596,39 @@ void TraceDrivenSimulator::handle_revoke(std::size_t server) {
   }
 }
 
+void TraceDrivenSimulator::run_reopt() {
+  const control::ReoptResult result = controller_->reoptimize(now_);
+  if (result.ceilings_updated) {
+    // The Reopt event sits on a tick barrier (views were flushed before
+    // dispatch) and ranks ahead of same-instant retries and arrivals, so
+    // every request from this tick on sees the re-optimized table.
+    admission_->set_class_ceilings(result.class_ceilings);
+  }
+  if (result.schedule_rewritten) {
+    // Replace the unconsumed plan-event suffix with the controller's
+    // rewritten future. Everything at or before now_ has already been
+    // consumed (future_events are strictly after now_), so the splice
+    // never revises history.
+    plan_queue_.resize(next_plan_);
+    plan_queue_.reserve(next_plan_ + result.future_events.size());
+    for (const control::PlanEvent& event : result.future_events) {
+      Event::Kind kind = Event::Kind::Revoke;
+      switch (event.kind) {
+        case control::PlanEvent::Kind::Restore:
+          kind = Event::Kind::Restore;
+          break;
+        case control::PlanEvent::Kind::Warn: kind = Event::Kind::Warn; break;
+        case control::PlanEvent::Kind::Revoke:
+          kind = Event::Kind::Revoke;
+          break;
+      }
+      plan_queue_.push_back({event.at, kind, event.server, event.deadline});
+    }
+  }
+  next_reopt_ += sim::SimTime::from_hours(config_.control.reopt_hours);
+  if (next_reopt_ >= horizon_) next_reopt_ = sim::SimTime::max();
+}
+
 void TraceDrivenSimulator::apply_alloc_event(const AllocEvent& alloc) {
   now_ = std::max(now_, alloc.at);
   VmRuntime* rt = runtime_of(alloc.vm_id);
@@ -589,7 +655,18 @@ SimMetrics TraceDrivenSimulator::run() {
 }
 
 void TraceDrivenSimulator::run_vector() {
-  std::vector<Event> events = build_plan_events();
+  // Controller-enabled runs keep the plan's Restore/Warn/Revoke schedule
+  // in the spliceable member queue (a re-optimization may rewrite its
+  // unconsumed suffix); disabled runs merge it into the static vector
+  // exactly as before. Either way the three sources' kinds are disjoint,
+  // so merging by (at, kind) reproduces the single sorted vector's
+  // canonical (at, kind, idx) order bit-for-bit.
+  std::vector<Event> events;
+  if (controller_) {
+    plan_queue_ = build_plan_events();
+  } else {
+    events = build_plan_events();
+  }
   events.reserve(events.size() + records_.size() * 2);
   for (std::size_t i = 0; i < records_.size(); ++i) {
     events.push_back({records_[i].start, Event::Kind::VmStart, i, {}});
@@ -602,19 +679,36 @@ void TraceDrivenSimulator::run_vector() {
   });
 
   std::size_t next_event = 0;
-  while (next_event < events.size() || !pending_allocs_.empty() ||
+  while (next_event < events.size() || next_plan_ < plan_queue_.size() ||
+         next_reopt_ != sim::SimTime::max() || !pending_allocs_.empty() ||
          admission_->next_retry()) {
+    // Earliest static event across the sources: the arrival/departure
+    // vector, the plan queue and the controller's next wakeup.
+    const Event reopt_event{next_reopt_, Event::Kind::Reopt, 0, {}};
+    const Event* candidate =
+        next_event < events.size() ? &events[next_event] : nullptr;
+    int candidate_source = 0;  // 0 = events, 1 = plan queue, 2 = reopt
+    const auto consider = [&](const Event& event, int source) {
+      if (candidate == nullptr || event.at < candidate->at ||
+          (event.at == candidate->at && event.kind < candidate->kind)) {
+        candidate = &event;
+        candidate_source = source;
+      }
+    };
+    if (next_plan_ < plan_queue_.size()) consider(plan_queue_[next_plan_], 1);
+    if (next_reopt_ != sim::SimTime::max()) consider(reopt_event, 2);
+
     // Deferral-queue retries come due between static events. A retry is an
     // arrival (of an older request): at equal timestamps it slots into the
-    // canonical event order *after* departures/restores/revocations —
-    // price-crossing restores land exactly on the price-drop step the
-    // retry waited for, and the re-entry must see the restored fleet — but
-    // *ahead* of same-instant fresh arrivals.
+    // canonical event order *after* departures/restores/revocations and
+    // re-optimizations — price-crossing restores land exactly on the
+    // price-drop step the retry waited for, the re-entry must see the
+    // restored fleet, and a drained request re-evaluates against freshly
+    // pushed ceilings — but *ahead* of same-instant fresh arrivals.
     const sim::SimTime next_static =
-        next_event < events.size() ? events[next_event].at : sim::SimTime::max();
+        candidate != nullptr ? candidate->at : sim::SimTime::max();
     const bool retry_before_static =
-        next_event >= events.size() ||
-        events[next_event].kind == Event::Kind::VmStart;
+        candidate == nullptr || candidate->kind == Event::Kind::VmStart;
     if (const auto retry = admission_->next_retry();
         retry &&
         (*retry < next_static ||
@@ -632,14 +726,19 @@ void TraceDrivenSimulator::run_vector() {
     // In-flight migration cutovers come due between static events; they
     // only touch allocation timelines, never the manager.
     if (!pending_allocs_.empty() &&
-        (next_event >= events.size() ||
-         pending_allocs_.top().at <= events[next_event].at)) {
+        (candidate == nullptr || pending_allocs_.top().at <= next_static)) {
       const AllocEvent alloc = pending_allocs_.top();
       pending_allocs_.pop();
       apply_alloc_event(alloc);
       continue;
     }
-    const Event& event = events[next_event++];
+    // Copy, not reference: a Reopt may splice plan_queue_ under us.
+    const Event event = *candidate;
+    if (candidate_source == 0) {
+      ++next_event;
+    } else if (candidate_source == 1) {
+      ++next_plan_;
+    }
     // Batched view maintenance: dirty views/aggregates accumulated by the
     // events of one simulated tick are flushed once at the tick boundary
     // instead of once per event (placement stays exact either way). The
@@ -655,6 +754,7 @@ void TraceDrivenSimulator::run_vector() {
       case Event::Kind::VmEnd: on_vm_end(runtimes_[event.idx]); break;
       case Event::Kind::Warn: handle_warn(event.idx, event.deadline); break;
       case Event::Kind::Revoke: handle_revoke(event.idx); break;
+      case Event::Kind::Reopt: run_reopt(); break;
       case Event::Kind::Restore: manager_->restore_server(event.idx); break;
     }
   }
@@ -679,16 +779,17 @@ void TraceDrivenSimulator::run_vector() {
 }
 
 void TraceDrivenSimulator::run_streaming() {
-  // Static events come from three ordered sources merged on the fly:
-  //   * the plan's Restore/Warn/Revoke schedule (a sorted vector),
+  // Static events come from four ordered sources merged on the fly:
+  //   * the plan's Restore/Warn/Revoke schedule (the spliceable member
+  //     queue — a re-optimization may rewrite its unconsumed suffix),
   //   * departures of VMs admitted so far (a min-heap fed at arrival),
-  //   * the arrival stream itself (one-record lookahead).
+  //   * the arrival stream itself (one-record lookahead),
+  //   * the controller's next re-optimization wakeup.
   // Ids never collide across same-kind sources, so ordering candidates by
   // (at, kind) reproduces the vector loop's canonical (at, kind, id) order
   // — which is what keeps streaming results consistent with vector-mode
   // replays of the same trace.
-  const std::vector<Event> plan_events = build_plan_events();
-  std::size_t next_plan = 0;
+  plan_queue_ = build_plan_events();
 
   struct EndEvent {
     sim::SimTime at;
@@ -703,8 +804,10 @@ void TraceDrivenSimulator::run_streaming() {
 
   std::optional<trace::VmRecord> next_arrival = stream_->next();
 
-  constexpr int kSourceEnd = 0, kSourcePlan = 1, kSourceArrival = 2;
+  constexpr int kSourceEnd = 0, kSourcePlan = 1, kSourceArrival = 2,
+                kSourceReopt = 3;
   constexpr int kArrivalRank = static_cast<int>(Event::Kind::VmStart);
+  constexpr int kReoptRank = static_cast<int>(Event::Kind::Reopt);
 
   const auto release_vm = [&](std::uint64_t id) {
     const auto it = active_.find(id);
@@ -740,12 +843,15 @@ void TraceDrivenSimulator::run_streaming() {
       consider(ends.top().at, static_cast<int>(Event::Kind::VmEnd),
                kSourceEnd);
     }
-    if (next_plan < plan_events.size()) {
-      consider(plan_events[next_plan].at,
-               static_cast<int>(plan_events[next_plan].kind), kSourcePlan);
+    if (next_plan_ < plan_queue_.size()) {
+      consider(plan_queue_[next_plan_].at,
+               static_cast<int>(plan_queue_[next_plan_].kind), kSourcePlan);
     }
     if (next_arrival.has_value()) {
       consider(next_arrival->start, kArrivalRank, kSourceArrival);
+    }
+    if (next_reopt_ != sim::SimTime::max()) {
+      consider(next_reopt_, kReoptRank, kSourceReopt);
     }
     if (source < 0 && pending_allocs_.empty() && !admission_->next_retry()) {
       break;
@@ -791,7 +897,7 @@ void TraceDrivenSimulator::run_streaming() {
         break;
       }
       case kSourcePlan: {
-        const Event& event = plan_events[next_plan++];
+        const Event& event = plan_queue_[next_plan_++];
         switch (event.kind) {
           case Event::Kind::Warn:
             handle_warn(event.idx, event.deadline);
@@ -824,6 +930,7 @@ void TraceDrivenSimulator::run_streaming() {
         on_vm_start(owned.rt);
         break;
       }
+      case kSourceReopt: run_reopt(); break;
       default: break;
     }
   }
@@ -897,8 +1004,16 @@ SimMetrics TraceDrivenSimulator::build_metrics() {
         static_cast<double>(config_.server_count);
     metrics.portfolio_expected_cost = plan_->portfolio.expected_cost;
     const transient::TransientMarketEngine engine(config_.market);
-    metrics.cost = engine.cost_report(
-        *plan_, config_.server_capacity[res::Resource::Cpu], horizon_);
+    // The controller's segment-aware bill replaces the engine's only
+    // when servers actually moved markets; zero-move controlled runs
+    // stay bit-identical to the one-shot report.
+    metrics.cost =
+        controller_ && controller_->total_moves() > 0
+            ? controller_->cost_report(
+                  config_.server_capacity[res::Resource::Cpu], horizon_)
+            : engine.cost_report(
+                  *plan_, config_.server_capacity[res::Resource::Cpu],
+                  horizon_);
     const double on_demand_rate =
         config_.market.effective_markets().front().price.on_demand_price;
     if (migration_engine_) {
@@ -915,6 +1030,10 @@ SimMetrics TraceDrivenSimulator::build_metrics() {
         admission_unserved_core_hours_;
     metrics.cost.admission_unserved_cost =
         admission_unserved_core_hours_ * on_demand_rate;
+  }
+  if (controller_) {
+    metrics.control_reopts = controller_->reopts();
+    metrics.control_moves = controller_->total_moves();
   }
   metrics.mean_cpu_deflation =
       deflatable_time_ > 0.0 ? deflation_fraction_time_ / deflatable_time_ : 0.0;

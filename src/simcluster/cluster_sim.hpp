@@ -26,6 +26,7 @@
 #include "cluster/pricing.hpp"
 #include "cluster/sharded_manager.hpp"
 #include "cluster/wire.hpp"
+#include "control/controller.hpp"
 #include "policy/policy_set.hpp"
 #include "trace/replay.hpp"
 #include "trace/vm_record.hpp"
@@ -113,6 +114,20 @@ struct SimConfig {
   /// how link-time plugin policies, having no enum value, are selected.
   policy::PolicySet policies;
 
+  // --- online control plane (src/control) ---
+  /// Rolling re-optimization: with `control.enabled`, a FleetController
+  /// wakes every `control.reopt_hours` of simulated time, refits its
+  /// revocation/price/correlation estimators on the realized window,
+  /// re-runs the portfolio + bid optimizers against the forecasts, pushes
+  /// updated per-class ceilings into the live admission controller at a
+  /// tick barrier, and executes the plan delta as rate-limited drains
+  /// through the migration machinery. `control.regime_shift` optionally
+  /// rewrites the market environment mid-run (applied whether or not the
+  /// controller is enabled, so enabled/disabled runs face the same
+  /// world). Disabled (default) keeps the one-shot t=0 plan,
+  /// bit-identical to earlier releases.
+  control::ControlConfig control;
+
   // --- timed migration (src/cluster/migration) ---
   /// With `migration.model.bandwidth_mib_per_sec > 0` (and a deflation-mode
   /// market), revocations become *timed*: each market's
@@ -174,6 +189,10 @@ struct SimMetrics {
   transient::CostReport cost;
   /// Mean per-core-hour cost of the portfolio mix (1.0 = all on-demand).
   double portfolio_expected_cost = 1.0;
+
+  // --- online control plane (src/control; zero when disabled) ---
+  std::uint64_t control_reopts = 0;  ///< re-optimization windows executed
+  std::uint64_t control_moves = 0;   ///< cross-market server moves scheduled
 
   // --- context ---
   double achieved_overcommit = 0.0;  ///< peak committed / capacity - 1
@@ -309,10 +328,12 @@ class TraceDrivenSimulator {
   /// timestamps: departures free capacity first, then restores add it,
   /// then revocation warnings (migrations start before the tick's final
   /// loss), then revocations (arrivals see the reduced fleet), then
+  /// re-optimization wakeups (the controller sees the post-revocation
+  /// fleet but re-plans before the tick's arrivals are admitted), then
   /// arrivals; ties broken by VM/server id.
   struct Event {
     sim::SimTime at;
-    enum class Kind { VmEnd, Restore, Warn, Revoke, VmStart } kind;
+    enum class Kind { VmEnd, Restore, Warn, Revoke, Reopt, VmStart } kind;
     std::size_t idx;        ///< VM index or server id
     sim::SimTime deadline;  ///< Warn only: when the server actually dies
   };
@@ -329,6 +350,11 @@ class TraceDrivenSimulator {
 
   void handle_warn(std::size_t server, sim::SimTime deadline);
   void handle_revoke(std::size_t server);
+  /// One re-optimization window: refit estimators on the realized window,
+  /// re-plan, push new ceilings into the live admission controller and
+  /// splice the rewritten revocation schedule into plan_queue_'s
+  /// not-yet-consumed suffix. Advances next_reopt_.
+  void run_reopt();
 
   std::vector<trace::VmRecord> records_;
   SimConfig config_;
@@ -343,6 +369,21 @@ class TraceDrivenSimulator {
   /// Admission stage in front of *manager_ (always present; AdmitAll by
   /// default). Quotes prices off plan_'s market traces.
   std::unique_ptr<cluster::AdmissionController> admission_;
+  /// Online control plane (src/control). Present only when
+  /// `config_.control.enabled` and a market plan exists; owns the online
+  /// estimators and the authoritative revocation timeline once moves have
+  /// been scheduled.
+  std::unique_ptr<control::FleetController> controller_;
+  /// Plan-driven Restore/Warn/Revoke events. Both event loops consume
+  /// this via next_plan_ so a re-optimization can splice a rewritten
+  /// future (everything strictly after `now_`) into the unconsumed
+  /// suffix. Events already consumed are never touched.
+  std::vector<Event> plan_queue_;
+  std::size_t next_plan_ = 0;
+  /// Next re-optimization wakeup; SimTime::max() = controller inactive
+  /// (disabled, reopt_hours = inf, or no further window fits the
+  /// horizon).
+  sim::SimTime next_reopt_ = sim::SimTime::max();
   std::vector<VmRuntime> runtimes_;
   std::unordered_map<std::uint64_t, std::size_t> id_to_idx_;
   /// Suspended (checkpointed-awaiting-destination) VM ids per doomed

@@ -235,10 +235,12 @@ CapacityPlan TransientMarketEngine::plan(std::size_t server_count,
     // Multi-market mode couples price risk with the correlation the
     // traces actually realized (configured coupling + common shocks); the
     // legacy single market keeps the scalar market_correlation path.
+    if (!config_.markets.empty()) {
+      out.planned_correlation = empirical_correlation(out.markets);
+    }
     out.portfolio = config_.markets.empty()
                         ? manager.optimize(specs)
-                        : manager.optimize(specs,
-                                           empirical_correlation(out.markets));
+                        : manager.optimize(specs, out.planned_correlation);
     out.pool_weights = manager.pool_weights(out.portfolio, deflatable_pools);
     on_demand_share = out.portfolio.on_demand_weight();
   } else {

@@ -155,6 +155,13 @@ struct CapacityPlan {
   /// BidOptimized admission policy defers a class while the spot quote
   /// exceeds its entry.
   std::vector<double> class_ceilings;
+  /// The correlation matrix the portfolio actually optimized against
+  /// (the realized empirical correlation in multi-market mode). Empty in
+  /// legacy single-market mode, which uses the scalar
+  /// `PortfolioConfig::market_correlation` path. The online control
+  /// plane (src/control) seeds its CorrelationEstimator from this so a
+  /// `static` forecast reproduces the planned weights bit-exactly.
+  std::vector<std::vector<double>> planned_correlation;
 };
 
 /// Cost of running the planned fleet over the horizon, against the

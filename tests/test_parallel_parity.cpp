@@ -230,6 +230,73 @@ TEST(ParallelParity, SimulatorMetricsAreThreadCountInvariant) {
   }
 }
 
+// Same invariance with the online control plane live: a regime shift at
+// 12h, a responsive forecast and a per-window move budget make the
+// controller re-optimize and rewrite the revoke/restore schedule mid-run.
+// Reopt events sit on tick barriers and the rewritten plan is a pure
+// function of realized (deterministic) history, so every metric —
+// including the controller's own counters and its segment-aware cost
+// report — must still be independent of the worker-thread count.
+TEST(ParallelParity, ControllerEnabledSimulatorIsThreadCountInvariant) {
+  tr::AzureTraceConfig trace_config;
+  trace_config.vm_count = 500;
+  trace_config.seed = 77;
+  trace_config.duration = deflate::sim::SimTime::from_hours(48);
+  const std::vector<tr::VmRecord> records =
+      tr::AzureTraceGenerator(trace_config).generate();
+
+  const auto run_with = [&](std::size_t threads) {
+    sc::SimConfig config;
+    config.server_capacity = {48.0, 128.0 * 1024.0, 1e9, 1e9};
+    config.server_count = sc::TraceDrivenSimulator::servers_for_overcommit(
+        records, config.server_capacity, -0.2);
+    config.shard_count = 8;
+    config.worker_threads = threads;
+    config.market_enabled = true;
+    config.market.seed = 13;
+    config.market.revocation.model = tn::RevocationModel::Poisson;
+    config.market.revocation.poisson_rate_per_hour = 1.0 / 18.0;
+    config.market.portfolio.on_demand_floor = 0.25;
+    config.market.replicate_markets(3, 0.4);
+    config.control.enabled = true;
+    config.control.reopt_hours = 6.0;
+    config.control.max_moves_per_window = 4;
+    config.control.forecast = "windowed";
+    config.control.regime_shift.at_hours = 12.0;
+    config.control.regime_shift.after = config.market;
+    config.control.regime_shift.after.seed = 99;
+    for (auto& market : config.control.regime_shift.after.markets) {
+      market.revocation.poisson_rate_per_hour = 1.0 / 4.0;
+    }
+    return sc::TraceDrivenSimulator(records, config).run();
+  };
+
+  const sc::SimMetrics serial = run_with(1);
+  EXPECT_GT(serial.control_reopts, 0U);
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+    const sc::SimMetrics threaded = run_with(threads);
+    EXPECT_EQ(serial.control_reopts, threaded.control_reopts);
+    EXPECT_EQ(serial.control_moves, threaded.control_moves);
+    EXPECT_EQ(serial.revocations, threaded.revocations);
+    EXPECT_EQ(serial.revocation_migrations, threaded.revocation_migrations);
+    EXPECT_EQ(serial.revocation_kills, threaded.revocation_kills);
+    EXPECT_EQ(serial.preemptions, threaded.preemptions);
+    EXPECT_EQ(serial.rejections, threaded.rejections);
+    EXPECT_EQ(serial.failure_probability, threaded.failure_probability);
+    EXPECT_EQ(serial.throughput_loss, threaded.throughput_loss);
+    EXPECT_EQ(serial.unserved_core_hours, threaded.unserved_core_hours);
+    EXPECT_EQ(serial.mean_cpu_deflation, threaded.mean_cpu_deflation);
+    EXPECT_EQ(serial.cost.on_demand_core_hours,
+              threaded.cost.on_demand_core_hours);
+    EXPECT_EQ(serial.cost.transient_core_hours,
+              threaded.cost.transient_core_hours);
+    EXPECT_EQ(serial.cost.on_demand_cost, threaded.cost.on_demand_cost);
+    EXPECT_EQ(serial.cost.transient_cost, threaded.cost.transient_cost);
+    EXPECT_EQ(serial.cost.all_on_demand_cost,
+              threaded.cost.all_on_demand_cost);
+  }
+}
+
 // DEFLATE_THREADS is the environment-level knob feeding the same plumbing
 // (SimConfig.worker_threads = 0 resolves through util::env_threads); the
 // explicit-parameter invariance above covers it, but pin the resolution

@@ -19,20 +19,32 @@
 //               [--migration-strategy migrate|deflate|hybrid]
 //               [--admission admit-all|price|bid-opt] [--price-ceiling C]
 //               [--defer-hours H] [--bid-opt]
+//               [--reopt-hours H] [--forecast static|ewma|windowed]
+//               [--reopt-max-moves N]
 //   deflatectl connect --port P [--vms N] [--batch B] [--hours H]
-//               [--seed S] [--shutdown]
+//               [--seed S] [--telemetry N] [--shutdown]
 //   deflatectl replay --capture FILE
 //   deflatectl replay-trace [--source azure|alibaba|capture] [--vms N]
 //               [--hours H] [--seed S] [--rate R] [--duration-scale D]
 //               [--window W] [--threads T] [--capture FILE]
 //               [--servers N | --overcommit O] [--shards N]
 //               [--shard-policy p2c|least-loaded|round-robin]
+//               [--reopt-hours H] [--forecast F] [--reopt-max-moves N]
 //   deflatectl list-policies
 //
 // `list-policies` prints every policy registry surface (admission,
-// placement, shard-selection, migration, revocation) with its registered
-// policies, aliases and tunable parameters — including policies added by
-// link-time plugins (src/policy/registry.hpp).
+// placement, shard-selection, migration, revocation, control) with its
+// registered policies, aliases and tunable parameters — including
+// policies added by link-time plugins (src/policy/registry.hpp).
+//
+// --reopt-hours/--forecast/--reopt-max-moves enable the online control
+// plane (src/control): any of them turns the rolling re-optimization loop
+// on, re-planning every --reopt-hours of simulated time with the named
+// forecast policy and at most --reopt-max-moves cross-market server
+// moves per window. Under replay-trace (no market plan) the flags are
+// accepted but the controller is inert — there is nothing to
+// re-optimize. --telemetry N subscribes the connect session to one
+// aggregate UtilizationReport frame per N admission decisions.
 //
 // `connect` drives a running deflated daemon (tools/deflated.cpp) through
 // the batching client (src/net/client.hpp) and prints the decision
@@ -85,6 +97,7 @@
 #include <vector>
 
 #include "analysis/feasibility.hpp"
+#include "control/forecast.hpp"
 #include "net/capture.hpp"
 #include "net/client.hpp"
 #include "policy/catalog.hpp"
@@ -123,14 +136,17 @@ int usage() {
       "             [--migration-strategy migrate|deflate|hybrid]\n"
       "             [--admission admit-all|price|bid-opt] [--price-ceiling C]\n"
       "             [--defer-hours H] [--bid-opt]\n"
+      "             [--reopt-hours H] [--forecast static|ewma|windowed]\n"
+      "             [--reopt-max-moves N]\n"
       "  deflatectl connect --port P [--vms N] [--batch B] [--hours H]\n"
-      "             [--seed S] [--shutdown]\n"
+      "             [--seed S] [--telemetry N] [--shutdown]\n"
       "  deflatectl replay --capture FILE\n"
       "  deflatectl replay-trace [--source azure|alibaba|capture] [--vms N]\n"
       "             [--hours H] [--seed S] [--rate R] [--duration-scale D]\n"
       "             [--window W] [--threads T] [--capture FILE]\n"
       "             [--servers N | --overcommit O] [--shards N]\n"
       "             [--shard-policy p2c|least-loaded|round-robin]\n"
+      "             [--reopt-hours H] [--forecast F] [--reopt-max-moves N]\n"
       "  deflatectl list-policies\n";
   return 1;
 }
@@ -197,6 +213,31 @@ std::optional<cluster::ShardSelectionPolicy> parse_shard_policy(
 std::optional<cluster::AdmissionPolicyKind> parse_admission_policy(
     const std::string& name) {
   return cluster::admission_policy_from_name(name);
+}
+
+/// Applies the shared online-control flags (--reopt-hours, --forecast,
+/// --reopt-max-moves): any of them enables the controller. Returns 0, or
+/// the usage-error exit code for an unknown forecast name.
+int apply_control_flags(const CliArgs& args, simcluster::SimConfig& config) {
+  if (args.has("forecast")) {
+    const std::string forecast = args.get("forecast", "");
+    if (control::ControlRegistry::instance().find(forecast) == nullptr) {
+      return unknown_policy_error<control::ControlSurface>("forecast",
+                                                           forecast);
+    }
+    config.control.forecast = forecast;
+  }
+  if (args.has("reopt-hours") || args.has("forecast") ||
+      args.has("reopt-max-moves")) {
+    config.control.enabled = true;
+    config.control.reopt_hours =
+        args.get_double("reopt-hours", config.control.reopt_hours);
+    config.control.max_moves_per_window = static_cast<std::size_t>(
+        args.get_double("reopt-max-moves",
+                        static_cast<double>(
+                            config.control.max_moves_per_window)));
+  }
+  return 0;
 }
 
 /// Applies the shared --shards / --shard-policy flags; returns false on a
@@ -376,7 +417,8 @@ int cmd_revoke_sim(const CliArgs& args) {
                    "shard-policy", "warning-secs", "migration-bandwidth",
                    "migration-dirty-rate", "migration-contention",
                    "migration-strategy", "admission", "price-ceiling",
-                   "defer-hours", "bid-opt"})
+                   "defer-hours", "bid-opt", "reopt-hours", "forecast",
+                   "reopt-max-moves"})
       .require_integer_at_least("servers", 1)
       .require_integer_at_least("shards", 1)
       .require_integer_at_least("markets", 1)
@@ -393,6 +435,8 @@ int cmd_revoke_sim(const CliArgs& args) {
       .require_at_least("migration-dirty-rate", 0.0)
       .require_in_range("price-ceiling", 1e-6, 100.0)
       .require_at_least("defer-hours", 0.0)
+      .require_at_least("reopt-hours", 1e-6)
+      .require_integer_at_least("reopt-max-moves", 0)
       .check(!args.has("price-ceiling") ||
                  args.get("admission", "admit-all") == "price",
              "flag --price-ceiling requires --admission price (admit-all "
@@ -501,6 +545,11 @@ int cmd_revoke_sim(const CliArgs& args) {
   config.market.common_shock_rate_per_hour =
       args.get_double("common-shock-rate", 0.0);
 
+  // Online control plane (rolling re-optimization).
+  if (const int error = apply_control_flags(args, config); error != 0) {
+    return error;
+  }
+
   simcluster::TraceDrivenSimulator simulator(records, config);
   const auto metrics = simulator.run();
 
@@ -551,6 +600,12 @@ int cmd_revoke_sim(const CliArgs& args) {
                        util::format_double(
                            metrics.cost.migration_downtime_cost, 1) +
                        ")"});
+  }
+  if (config.control.enabled) {
+    table.add_row({"forecast policy", config.control.forecast});
+    table.add_row({"re-optimizations",
+                   std::to_string(metrics.control_reopts)});
+    table.add_row({"control moves", std::to_string(metrics.control_moves)});
   }
   table.add_row({"failure probability",
                  util::format_double(100 * metrics.failure_probability, 3) + "%"});
@@ -608,11 +663,13 @@ int cmd_feasibility(const CliArgs& args) {
 int cmd_connect(const CliArgs& args) {
   CliValidator validator(args);
   validator
-      .allow_only({"port", "vms", "batch", "hours", "seed", "shutdown"})
+      .allow_only({"port", "vms", "batch", "hours", "seed", "telemetry",
+                   "shutdown"})
       .require_in_range("port", 1, 65535)
       .require_integer_at_least("vms", 1)
       .require_integer_at_least("batch", 1)
-      .require_at_least("hours", 0);
+      .require_at_least("hours", 0)
+      .require_integer_at_least("telemetry", 1);
   if (report_errors(validator)) return 1;
   if (!args.has("port")) return flag_error("connect requires --port");
 
@@ -629,6 +686,17 @@ int cmd_connect(const CliArgs& args) {
   }
   std::cout << "connected: " << client->hello().server
             << " (admission=" << client->hello().admission_policy << ")\n";
+
+  // Telemetry subscription (codec v3): the server interleaves one
+  // aggregate UtilizationReport per N decisions on this connection.
+  if (args.has("telemetry")) {
+    const auto every =
+        static_cast<std::uint32_t>(args.get_double("telemetry", 0));
+    if (!client->request_telemetry(every)) {
+      std::cerr << "error: telemetry subscription failed\n";
+      return 2;
+    }
+  }
 
   util::Rng rng(seed);
   std::size_t in_batch = 0;
@@ -675,6 +743,15 @@ int cmd_connect(const CliArgs& args) {
             << "rejected " << rejected << "\n"
             << "deferral-resolutions " << client->resolved_deferrals().size()
             << "\n";
+  if (args.has("telemetry")) {
+    std::cout << "telemetry-reports " << client->telemetry_reports() << "\n";
+    if (client->last_telemetry().has_value()) {
+      std::cout << "fleet overcommit ratio "
+                << util::format_double(
+                       client->last_telemetry()->overcommit_ratio, 3)
+                << "\n";
+    }
+  }
 
   if (args.has("shutdown")) {
     if (!client->shutdown_server()) {
@@ -722,7 +799,8 @@ int cmd_replay_trace(const CliArgs& args) {
   validator
       .allow_only({"source", "vms", "hours", "seed", "rate", "duration-scale",
                    "window", "threads", "capture", "servers", "overcommit",
-                   "shards", "shard-policy"})
+                   "shards", "shard-policy", "reopt-hours", "forecast",
+                   "reopt-max-moves"})
       .require_integer_at_least("vms", 1)
       .require_at_least("hours", 0.001)
       .require_at_least("seed", 0)
@@ -733,6 +811,8 @@ int cmd_replay_trace(const CliArgs& args) {
       .require_integer_at_least("servers", 1)
       .require_at_least("overcommit", -0.9)
       .require_integer_at_least("shards", 1)
+      .require_at_least("reopt-hours", 1e-6)
+      .require_integer_at_least("reopt-max-moves", 0)
       .check(!(args.has("servers") && args.has("overcommit")),
              "flags --servers and --overcommit conflict (pick an explicit "
              "fleet size or derive one from the target overcommitment)");
@@ -780,6 +860,12 @@ int cmd_replay_trace(const CliArgs& args) {
   if (!apply_shard_flags(args, config)) {
     return unknown_policy_error<cluster::ShardSelectionSurface>(
         "shard-policy", args.get("shard-policy", ""));
+  }
+  // Validated and carried for symmetry with revoke-sim; replay-trace has
+  // no market plan, so an enabled controller is inert (nothing to
+  // re-optimize).
+  if (const int error = apply_control_flags(args, config); error != 0) {
+    return error;
   }
   if (args.has("servers")) {
     config.server_count =
